@@ -1,0 +1,184 @@
+// One testing.B benchmark per paper artifact (tables AND figures), as the
+// repository's top-level regeneration entry points. Each benchmark runs
+// the corresponding harness experiment and reports the headline simulated
+// metric via b.ReportMetric, so `go test -bench=. -benchmem` both
+// exercises the full pipeline and prints the numbers to compare against
+// the paper. The printable tables themselves come from `go run
+// ./cmd/ocbench <experiment>`.
+package ocbcast_test
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/harness"
+	"repro/internal/model"
+	"repro/internal/scc"
+)
+
+func cfg() scc.Config { return scc.DefaultConfig() }
+
+// BenchmarkFig3PutGet regenerates Figure 3: put/get completion times vs
+// distance, simulator vs model. Reported metric: simulated completion of
+// a 16-CL MPB->MPB get at the maximum distance (9 hops), in µs.
+func BenchmarkFig3PutGet(b *testing.B) {
+	var last float64
+	for i := 0; i < b.N; i++ {
+		tbl := harness.Fig3(cfg())
+		// Last MPB get row at d=9, 16 CL: find it.
+		for _, r := range tbl.Rows {
+			if r[0] == "get mpb->mpb" && r[1] == "16" && r[2] == "9" {
+				last = parseF(b, r[3])
+			}
+		}
+	}
+	b.ReportMetric(last, "µs/get16CL@9hops")
+}
+
+// BenchmarkTable1Calibration regenerates Table 1 by microbenchmark +
+// least-squares fit. Reported metric: fitted Lhop in µs (paper: 0.005).
+func BenchmarkTable1Calibration(b *testing.B) {
+	var lhop float64
+	for i := 0; i < b.N; i++ {
+		tbl, err := harness.Table1(cfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		lhop = parseF(b, tbl.Rows[0][2])
+	}
+	b.ReportMetric(lhop*1000, "ns-Lhop-fitted")
+}
+
+// BenchmarkFig4Contention regenerates Figure 4. Reported metrics: average
+// 128-CL get completion with 47 concurrent accessors (µs) and the
+// slowest/fastest spread (paper: >2x).
+func BenchmarkFig4Contention(b *testing.B) {
+	var avg47, spread float64
+	for i := 0; i < b.N; i++ {
+		tbl := harness.Fig4(cfg(), 25)
+		for _, r := range tbl.Rows {
+			if r[0] == "get 128CL" && r[1] == "47" {
+				avg47 = parseF(b, r[2])
+				spread = parseF(b, r[5])
+			}
+		}
+	}
+	b.ReportMetric(avg47, "µs-avg-get@47cores")
+	b.ReportMetric(spread, "slow/fast")
+}
+
+// BenchmarkFig6Model regenerates Figure 6 from the analytical model.
+// Reported metric: modeled OC-Bcast k=7 latency at 96 CL (µs).
+func BenchmarkFig6Model(b *testing.B) {
+	var v float64
+	for i := 0; i < b.N; i++ {
+		mdl := model.New(cfg().Params)
+		v = mdl.OCBcastLatency(model.DefaultBcastParams(), 96, 7).Microseconds()
+		_ = harness.Fig6(cfg())
+	}
+	b.ReportMetric(v, "µs-model-k7@96CL")
+}
+
+// BenchmarkTable2Model regenerates Table 2. Reported metrics: modeled
+// peak throughputs in MB/s (paper: ~34-36 vs 13.38).
+func BenchmarkTable2Model(b *testing.B) {
+	var oc, sag float64
+	for i := 0; i < b.N; i++ {
+		mdl := model.New(cfg().Params)
+		bp := model.DefaultBcastParams()
+		oc = model.LinesPerSecToMBps(mdl.OCBcastThroughput(bp))
+		sag = model.LinesPerSecToMBps(mdl.SAGThroughput(bp))
+		_ = harness.Table2(cfg())
+	}
+	b.ReportMetric(oc, "MB/s-ocbcast")
+	b.ReportMetric(sag, "MB/s-scatterAG")
+}
+
+// BenchmarkFig8aLatency regenerates Figure 8a's headline point: measured
+// 1-CL broadcast latency for OC-Bcast k=7 vs binomial (paper: 16.6 vs
+// 21.6 µs, 27% improvement).
+func BenchmarkFig8aLatency(b *testing.B) {
+	var oc, bin float64
+	for i := 0; i < b.N; i++ {
+		oc = harness.MeanLatency(cfg(), harness.Alg{Name: "oc", K: 7}, scc.NumCores, 1, 3)
+		bin = harness.MeanLatency(cfg(), harness.Alg{Name: "binomial"}, scc.NumCores, 1, 3)
+	}
+	b.ReportMetric(oc, "µs-ocbcast-1CL")
+	b.ReportMetric(bin, "µs-binomial-1CL")
+	b.ReportMetric(100*(bin-oc)/bin, "%improvement")
+}
+
+// BenchmarkFig8bThroughput regenerates Figure 8b's peak: measured
+// throughput at 8192 CL for OC-Bcast k=7 vs scatter-allgather (paper:
+// almost 3x).
+func BenchmarkFig8bThroughput(b *testing.B) {
+	var oc, sag float64
+	for i := 0; i < b.N; i++ {
+		const lines = 8192
+		oc = harness.ThroughputMBps(lines,
+			harness.MeanLatency(cfg(), harness.Alg{Name: "oc", K: 7}, scc.NumCores, lines, 2))
+		sag = harness.ThroughputMBps(lines,
+			harness.MeanLatency(cfg(), harness.Alg{Name: "sag"}, scc.NumCores, lines, 2))
+	}
+	b.ReportMetric(oc, "MB/s-ocbcast")
+	b.ReportMetric(sag, "MB/s-scatterAG")
+	b.ReportMetric(oc/sag, "ratio")
+}
+
+// BenchmarkMeshStress regenerates the §3.3 mesh-stress experiment with
+// the detailed NoC model. Reported metric: loaded/unloaded latency ratio
+// (paper: 1.0 — the mesh is not a bottleneck).
+func BenchmarkMeshStress(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		tbl := harness.MeshStress(cfg(), 10)
+		free := parseF(b, tbl.Rows[0][1])
+		loaded := parseF(b, tbl.Rows[1][1])
+		ratio = loaded / free
+	}
+	b.ReportMetric(ratio, "loaded/free")
+}
+
+// BenchmarkAblationNotification measures the binary-vs-sequential
+// notification design choice at k=47 (1-CL broadcast).
+func BenchmarkAblationNotification(b *testing.B) {
+	var bin, seq float64
+	for i := 0; i < b.N; i++ {
+		tbl := harness.AblationNotification(cfg(), 1)
+		last := len(tbl.Rows) - 1
+		bin = parseF(b, tbl.Rows[last][1])
+		seq = parseF(b, tbl.Rows[last][2])
+	}
+	b.ReportMetric(bin, "µs-binary-k47")
+	b.ReportMetric(seq, "µs-sequential-k47")
+}
+
+// BenchmarkAblationBuffering measures double vs single buffering.
+func BenchmarkAblationBuffering(b *testing.B) {
+	var double, single float64
+	for i := 0; i < b.N; i++ {
+		tbl := harness.AblationBuffering(cfg(), 1)
+		double = parseF(b, tbl.Rows[0][1])
+		single = parseF(b, tbl.Rows[1][1])
+	}
+	b.ReportMetric(double, "µs-double@192CL")
+	b.ReportMetric(single, "µs-single@192CL")
+}
+
+// BenchmarkEngineThroughput measures raw simulator speed: simulated
+// broadcast events per wall second for a 96-CL OC-Bcast on 48 cores.
+func BenchmarkEngineThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		harness.MeanLatency(cfg(), harness.Alg{Name: "oc", K: 7}, scc.NumCores, 96, 1)
+	}
+}
+
+func parseF(b *testing.B, s string) float64 {
+	b.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "x"), 64)
+	if err != nil {
+		b.Fatalf("cell %q not numeric: %v", s, err)
+	}
+	return v
+}

@@ -1,0 +1,86 @@
+// Command ocbench regenerates the tables and figures of "High-Performance
+// RMA-Based Broadcast on the Intel SCC" (SPAA 2012) on the simulated SCC.
+//
+// Usage:
+//
+//	ocbench list                 # show available experiments
+//	ocbench all                  # run everything
+//	ocbench fig8a fig8b table2   # run specific artifacts
+//
+// Flags:
+//
+//	-effort N        scale repetition counts (default 2)
+//	-no-contention   disable the MPB-port contention model
+//	-no-cache        disable the L1 model for private-memory reads
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+	"repro/internal/scc"
+)
+
+func main() {
+	effort := flag.Int("effort", 2, "repetition-count multiplier (>=1)")
+	noContention := flag.Bool("no-contention", false, "disable the MPB contention model")
+	noCache := flag.Bool("no-cache", false, "disable the L1 cache model")
+	flag.Usage = usage
+	flag.Parse()
+
+	if *effort < 1 {
+		*effort = 1
+	}
+	cfg := scc.DefaultConfig()
+	cfg.Contention.Enabled = !*noContention
+	cfg.CacheEnabled = !*noCache
+
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+
+	var names []string
+	switch args[0] {
+	case "list":
+		fmt.Println("available experiments:")
+		for _, e := range harness.Registry() {
+			fmt.Printf("  %-10s %s\n", e.Name, e.Desc)
+		}
+		return
+	case "all":
+		for _, e := range harness.Registry() {
+			names = append(names, e.Name)
+		}
+	default:
+		names = args
+	}
+
+	for _, name := range names {
+		exp, err := harness.Lookup(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		tables, err := exp.Run(cfg, *effort)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			t.Fprint(os.Stdout)
+		}
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `ocbench — regenerate the SPAA'12 OC-Bcast paper's tables and figures
+
+usage: ocbench [flags] list | all | <experiment>...
+
+`)
+	flag.PrintDefaults()
+}

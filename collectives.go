@@ -1,0 +1,38 @@
+package ocbcast
+
+import "repro/internal/collective"
+
+// ReduceOp combines the src buffer into dst (equal lengths, cache-line
+// multiples). See SumInt64 and MaxInt64.
+type ReduceOp = collective.ReduceOp
+
+// SumInt64 adds little-endian int64 lanes; MaxInt64 keeps lane maxima.
+var (
+	SumInt64 ReduceOp = collective.SumInt64
+	MaxInt64 ReduceOp = collective.MaxInt64
+)
+
+// Reduce combines every core's `lines` cache lines at addr with op into
+// the root (binomial tree). scratchAddr is same-size private staging the
+// operation may clobber on interior nodes.
+func (c *Core) Reduce(root, addr, scratchAddr, lines int, op ReduceOp) {
+	c.comm.Reduce(root, addr, scratchAddr, lines, op)
+}
+
+// AllReduce reduces to core 0, then broadcasts the result with OC-Bcast —
+// the paper's §7 direction: collectives composed from the RMA-based
+// broadcast.
+func (c *Core) AllReduce(addr, scratchAddr, lines int, op ReduceOp) {
+	c.comm.Reduce(0, addr, scratchAddr, lines, op)
+	c.bc.Bcast(0, addr, lines)
+}
+
+// Gather collects each core's block (at addr + id·lines·32) onto the root.
+func (c *Core) Gather(root, addr, lines int) { c.comm.Gather(root, addr, lines) }
+
+// Scatter distributes per-core blocks from the root's memory layout
+// (block i at addr + i·lines·32) to each core.
+func (c *Core) Scatter(root, addr, lines int) { c.comm.Scatter(root, addr, lines) }
+
+// AllGather exchanges every core's block so all cores hold all P blocks.
+func (c *Core) AllGather(addr, lines int) { c.comm.AllGather(addr, lines) }

@@ -1,0 +1,43 @@
+// Quickstart: broadcast a message from core 0 to all 48 cores of the
+// simulated SCC with OC-Bcast, verify delivery, and print the virtual
+// latency — the minimal end-to-end use of the public API.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	ocbcast "repro"
+)
+
+func main() {
+	const lines = 96 // one OC-Bcast chunk = 96 cache lines = 3 KiB
+
+	sys := ocbcast.New(ocbcast.Options{}) // 48 cores, paper defaults (k=7)
+
+	// Stage a payload in core 0's private off-chip memory.
+	msg := bytes.Repeat([]byte("OC-Bcast! "), lines*ocbcast.CacheLineBytes/10+1)
+	msg = msg[:lines*ocbcast.CacheLineBytes]
+	sys.WritePrivate(0, 0, msg)
+
+	// SPMD: every core calls the collective with matching arguments.
+	var latest float64
+	sys.Run(func(c *ocbcast.Core) {
+		c.Broadcast(0, 0, lines)
+		if us := c.NowMicros(); us > latest {
+			latest = us
+		}
+	})
+
+	// Verify delivery on every core.
+	for i := 0; i < sys.N(); i++ {
+		if !bytes.Equal(sys.ReadPrivate(i, 0, len(msg)), msg) {
+			log.Fatalf("core %d did not receive the payload", i)
+		}
+	}
+	fmt.Printf("broadcast %d bytes to %d cores in %.2f µs (virtual time)\n",
+		len(msg), sys.N(), latest)
+	fmt.Printf("root off-chip traffic: %d lines read (exactly the message, the paper's §5 point)\n",
+		sys.Counters(0).MemReadLines)
+}

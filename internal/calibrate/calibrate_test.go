@@ -1,0 +1,106 @@
+package calibrate
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/scc"
+	"repro/internal/sim"
+)
+
+func TestMicrobenchCoverage(t *testing.T) {
+	samples := Microbench(scc.DefaultConfig(), nil)
+	// 9 distances × 4 default sizes × 4 op families.
+	if want := 9 * 4 * 4; len(samples) != want {
+		t.Fatalf("got %d samples, want %d", len(samples), want)
+	}
+	for _, s := range samples {
+		if s.Duration <= 0 {
+			t.Fatalf("non-positive duration in sample %+v", s)
+		}
+	}
+}
+
+func TestCoreAtDistance(t *testing.T) {
+	for d := 1; d <= 9; d++ {
+		c := coreAtDistance(d)
+		if got := scc.CoreDistance(0, c); got != d {
+			t.Errorf("coreAtDistance(%d) = core %d at distance %d", d, c, got)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("distance 10 did not panic")
+		}
+	}()
+	coreAtDistance(10)
+}
+
+// TestFitRecoversTable1 is the Table 1 reproduction: fitting the model to
+// simulated microbenchmarks must recover the configured parameters almost
+// exactly (the simulator charges exactly the analytic costs when
+// contention is off, so R² ≈ 1 and parameters match to rounding).
+func TestFitRecoversTable1(t *testing.T) {
+	samples := Microbench(scc.DefaultConfig(), []int{1, 2, 4, 8, 16, 32})
+	fit, err := FitParams(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := scc.Table1()
+	check := func(name string, got, want sim.Duration) {
+		t.Helper()
+		g, w := got.Microseconds(), want.Microseconds()
+		if math.Abs(g-w) > 1e-4 {
+			t.Errorf("%s fitted %.6f µs, configured %.6f µs", name, g, w)
+		}
+	}
+	check("Lhop", fit.Params.Lhop, truth.Lhop)
+	check("ompb", fit.Params.OMpb, truth.OMpb)
+	check("omem_w", fit.Params.OMemW, truth.OMemW)
+	check("omem_r", fit.Params.OMemR, truth.OMemR)
+	check("ompb_put", fit.Params.OMpbPut, truth.OMpbPut)
+	check("ompb_get", fit.Params.OMpbGet, truth.OMpbGet)
+	check("omem_put", fit.Params.OMemPut, truth.OMemPut)
+	check("omem_get", fit.Params.OMemGet, truth.OMemGet)
+	for fam, r2 := range fit.R2 {
+		if r2 < 0.999999 {
+			t.Errorf("family %s R² = %v, want ≈ 1", fam, r2)
+		}
+	}
+}
+
+// TestFitRecoversPerturbedParams: calibration must work for parameter
+// sets other than Table 1 (it fits, not memorizes).
+func TestFitRecoversPerturbedParams(t *testing.T) {
+	cfg := scc.DefaultConfig()
+	cfg.Params.Lhop = sim.Micros(0.009)
+	cfg.Params.OMpb = sim.Micros(0.2)
+	cfg.Params.OMemR = sim.Micros(0.35)
+	samples := Microbench(cfg, []int{1, 4, 16})
+	fit, err := FitParams(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Params.Lhop.Microseconds()-0.009) > 1e-4 {
+		t.Errorf("Lhop fitted %.6f, want 0.009", fit.Params.Lhop.Microseconds())
+	}
+	if math.Abs(fit.Params.OMpb.Microseconds()-0.2) > 1e-4 {
+		t.Errorf("ompb fitted %.6f, want 0.2", fit.Params.OMpb.Microseconds())
+	}
+	if math.Abs(fit.Params.OMemR.Microseconds()-0.35) > 1e-4 {
+		t.Errorf("omem_r fitted %.6f, want 0.35", fit.Params.OMemR.Microseconds())
+	}
+}
+
+func TestFitParamsMissingFamily(t *testing.T) {
+	samples := Microbench(scc.DefaultConfig(), []int{1, 4})
+	var getOnly []Sample
+	for _, s := range samples {
+		if s.Op == "mpbGet" {
+			getOnly = append(getOnly, s)
+		}
+	}
+	if _, err := FitParams(getOnly); err == nil {
+		t.Fatal("fit with missing families did not fail")
+	}
+}

@@ -1,0 +1,238 @@
+package collective
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rcce"
+	"repro/internal/rma"
+	"repro/internal/scc"
+	"repro/internal/sim"
+)
+
+func pattern(n int, seed byte) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(int(seed)*37 + i*11)
+	}
+	return b
+}
+
+type bcastFn func(c *Comm, root, addr, lines int)
+
+var algorithms = map[string]bcastFn{
+	"binomial": func(c *Comm, root, addr, lines int) { c.BcastBinomial(root, addr, lines) },
+	"scatterAG": func(c *Comm, root, addr, lines int) {
+		c.BcastScatterAllgather(root, addr, lines)
+	},
+	"scatterAG-1sided": func(c *Comm, root, addr, lines int) {
+		c.BcastScatterAllgatherOneSided(root, addr, lines)
+	},
+	"naive": func(c *Comm, root, addr, lines int) { c.BcastNaive(root, addr, lines) },
+}
+
+func runBcast(t *testing.T, name string, fn bcastFn, n, root, lines int) *rma.Chip {
+	t.Helper()
+	chip := rma.NewChipN(scc.DefaultConfig(), n)
+	payload := pattern(lines*scc.CacheLine, byte(lines+n))
+	chip.Private(root).Write(0, payload)
+	chip.Run(func(core *rma.Core) {
+		fn(NewComm(rcce.NewPort(core)), root, 0, lines)
+	})
+	for i := 0; i < n; i++ {
+		got := make([]byte, len(payload))
+		chip.Private(i).Read(got, 0, len(got))
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("%s: core %d corrupted (n=%d root=%d lines=%d)", name, i, n, root, lines)
+		}
+	}
+	return chip
+}
+
+func TestBcastAlgorithmsDeliver(t *testing.T) {
+	for name, fn := range algorithms {
+		t.Run(name, func(t *testing.T) {
+			for _, tc := range []struct{ n, root, lines int }{
+				{2, 0, 1},
+				{48, 0, 1},
+				{48, 0, 96},
+				{48, 13, 97},
+				{48, 0, 600}, // multi-chunk sends
+				{7, 3, 251},
+				{48, 47, 48}, // exactly one line per slice
+				{48, 0, 30},  // fewer lines than cores: empty slices
+				{1, 0, 5},    // single core no-op
+			} {
+				runBcast(t, name, fn, tc.n, tc.root, tc.lines)
+			}
+		})
+	}
+}
+
+func TestBcastProperty(t *testing.T) {
+	for name, fn := range algorithms {
+		fn := fn
+		t.Run(name, func(t *testing.T) {
+			f := func(nRaw, rootRaw uint8, linesRaw uint16) bool {
+				n := int(nRaw%24) + 1
+				root := int(rootRaw) % n
+				lines := int(linesRaw%300) + 1
+				chip := rma.NewChipN(scc.DefaultConfig(), n)
+				payload := pattern(lines*scc.CacheLine, byte(lines))
+				chip.Private(root).Write(0, payload)
+				chip.Run(func(core *rma.Core) {
+					fn(NewComm(rcce.NewPort(core)), root, 0, lines)
+				})
+				for i := 0; i < n; i++ {
+					got := make([]byte, len(payload))
+					chip.Private(i).Read(got, 0, len(got))
+					if !bytes.Equal(got, payload) {
+						return false
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestBcastBackToBack(t *testing.T) {
+	// Consecutive broadcasts, alternating roots, through the same Comm.
+	chip := rma.NewChipN(scc.DefaultConfig(), 16)
+	p1 := pattern(100*scc.CacheLine, 1)
+	p2 := pattern(40*scc.CacheLine, 2)
+	chip.Private(0).Write(0, p1)
+	chip.Private(9).Write(8192, p2)
+	chip.Run(func(core *rma.Core) {
+		c := NewComm(rcce.NewPort(core))
+		c.BcastBinomial(0, 0, 100)
+		c.BcastScatterAllgather(9, 8192, 40)
+	})
+	for i := 0; i < 16; i++ {
+		g1 := make([]byte, len(p1))
+		g2 := make([]byte, len(p2))
+		chip.Private(i).Read(g1, 0, len(g1))
+		chip.Private(i).Read(g2, 8192, len(g2))
+		if !bytes.Equal(g1, p1) || !bytes.Equal(g2, p2) {
+			t.Fatalf("core %d corrupted in back-to-back broadcasts", i)
+		}
+	}
+}
+
+// TestBinomialBeatsNaiveLatency: the whole point of a tree.
+func TestBinomialBeatsNaiveLatency(t *testing.T) {
+	lat := func(fn bcastFn) sim.Time {
+		chip := rma.NewChipN(scc.DefaultConfig(), 48)
+		chip.Private(0).Write(0, pattern(16*scc.CacheLine, 3))
+		var last sim.Time
+		chip.Run(func(core *rma.Core) {
+			fn(NewComm(rcce.NewPort(core)), 0, 0, 16)
+			if core.Now() > last {
+				last = core.Now()
+			}
+		})
+		return last
+	}
+	bin, naive := lat(algorithms["binomial"]), lat(algorithms["naive"])
+	if bin >= naive {
+		t.Fatalf("binomial %v not faster than naive %v", bin, naive)
+	}
+}
+
+// TestScatterAGBeatsBinomialLargeMessages reproduces the RCCE_comm
+// size-based algorithm choice (§6.2): scatter-allgather wins for large
+// messages, binomial for small.
+func TestScatterAGBeatsBinomialLargeMessages(t *testing.T) {
+	lat := func(fn bcastFn, lines int) sim.Time {
+		chip := rma.NewChipN(scc.DefaultConfig(), 48)
+		chip.Private(0).Write(0, pattern(lines*scc.CacheLine, 3))
+		var last sim.Time
+		chip.Run(func(core *rma.Core) {
+			fn(NewComm(rcce.NewPort(core)), 0, 0, lines)
+			if core.Now() > last {
+				last = core.Now()
+			}
+		})
+		return last
+	}
+	const large = 4096
+	bin, sag := lat(algorithms["binomial"], large), lat(algorithms["scatterAG"], large)
+	if sag >= bin {
+		t.Fatalf("scatter-allgather %v not faster than binomial %v at %d lines", sag, bin, large)
+	}
+	const small = 4
+	binS, sagS := lat(algorithms["binomial"], small), lat(algorithms["scatterAG"], small)
+	if binS >= sagS {
+		t.Fatalf("binomial %v not faster than scatter-allgather %v at %d lines", binS, sagS, small)
+	}
+}
+
+// TestOneSidedSAGFaster: the §5.4 one-sided adaptation must beat the
+// two-sided scatter-allgather for large messages (overlapped exchanges).
+func TestOneSidedSAGFaster(t *testing.T) {
+	lat := func(fn bcastFn) sim.Time {
+		chip := rma.NewChipN(scc.DefaultConfig(), 48)
+		chip.Private(0).Write(0, pattern(4096*scc.CacheLine, 3))
+		var last sim.Time
+		chip.Run(func(core *rma.Core) {
+			fn(NewComm(rcce.NewPort(core)), 0, 0, 4096)
+			if core.Now() > last {
+				last = core.Now()
+			}
+		})
+		return last
+	}
+	two, one := lat(algorithms["scatterAG"]), lat(algorithms["scatterAG-1sided"])
+	if one >= two {
+		t.Fatalf("one-sided s-ag %v not faster than two-sided %v", one, two)
+	}
+}
+
+// TestBinomialOffChipTraffic: an interior binomial node re-reads the
+// message from memory (modulo L1 hits) for every child it forwards to —
+// the §5 data-movement cost OC-Bcast avoids.
+func TestBinomialOffChipTraffic(t *testing.T) {
+	const lines = 64
+	chip := runBcast(t, "binomial", algorithms["binomial"], 8, 0, lines)
+	// vrank 1..7; core 1 (vrank 1) receives once and forwards 0 times?
+	// vrank 1 has mask=1 -> receives, sends to nothing below mask.
+	// vrank 4 receives at mask 4 and forwards to vranks 5, 6 -> 2 sends.
+	c4 := chip.Counter[4]
+	if c4.MemWriteLines != lines {
+		t.Fatalf("core 4 wrote %d lines off-chip, want %d", c4.MemWriteLines, lines)
+	}
+	// Sends re-read the payload: first send misses (already cached from
+	// the receive's write-allocate), so reads hit L1 — the Formula 14
+	// assumption — and MemReadLines stays 0 while CacheHitLines counts
+	// 2 sends' worth.
+	if c4.CacheHitLines != 2*lines {
+		t.Fatalf("core 4 L1 hits = %d, want %d", c4.CacheHitLines, 2*lines)
+	}
+	if c4.MemReadLines != 0 {
+		t.Fatalf("core 4 off-chip reads = %d, want 0 (L1-resident resend)", c4.MemReadLines)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	mustPanic := func(name string, f func(c *Comm)) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		chip := rma.NewChipN(scc.DefaultConfig(), 2)
+		chip.Run(func(core *rma.Core) {
+			if core.ID() == 0 {
+				f(NewComm(rcce.NewPort(core)))
+			}
+		})
+	}
+	mustPanic("bad root", func(c *Comm) { c.BcastBinomial(5, 0, 1) })
+	mustPanic("zero lines", func(c *Comm) { c.BcastBinomial(0, 0, 0) })
+	mustPanic("misaligned", func(c *Comm) { c.BcastScatterAllgather(0, 33, 1) })
+}

@@ -1,0 +1,212 @@
+package collective
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/scc"
+	"repro/internal/sim"
+)
+
+// This file implements the further collective operations the paper's §7
+// names as future work — reduce, allreduce, gather, scatter, allgather —
+// on the same RCCE-style two-sided substrate as the broadcast baselines,
+// so OC-style one-sided variants can be compared against them.
+
+// ReduceOp combines src into dst, both cache-line multiples of equal
+// length.
+type ReduceOp func(dst, src []byte)
+
+// SumInt64 treats buffers as little-endian int64 lanes and adds them.
+func SumInt64(dst, src []byte) {
+	for i := 0; i+8 <= len(dst) && i+8 <= len(src); i += 8 {
+		v := int64(binary.LittleEndian.Uint64(dst[i:])) + int64(binary.LittleEndian.Uint64(src[i:]))
+		binary.LittleEndian.PutUint64(dst[i:], uint64(v))
+	}
+}
+
+// MaxInt64 keeps the lane-wise maximum.
+func MaxInt64(dst, src []byte) {
+	for i := 0; i+8 <= len(dst) && i+8 <= len(src); i += 8 {
+		a := int64(binary.LittleEndian.Uint64(dst[i:]))
+		b := int64(binary.LittleEndian.Uint64(src[i:]))
+		if b > a {
+			binary.LittleEndian.PutUint64(dst[i:], uint64(b))
+		}
+	}
+}
+
+// Reduce combines every core's `lines` cache lines at addr with op; the
+// result lands at addr on the root. scratchAddr names a private-memory
+// staging area of the same size that the operation may clobber on
+// interior nodes. Binomial-tree reduction: the mirror image of
+// BcastBinomial, O(log2 P) levels.
+func (c *Comm) Reduce(root, addr, scratchAddr, lines int, op ReduceOp) {
+	me, p := c.checkBcastArgs(root, addr, lines)
+	if scratchAddr%scc.CacheLine != 0 {
+		panic(fmt.Sprintf("collective: scratch address %d not cache-line aligned", scratchAddr))
+	}
+	if op == nil {
+		panic("collective: nil reduce op")
+	}
+	if p == 1 {
+		return
+	}
+	core := c.port.Core()
+	chip := core.Chip()
+	vrank := ((me - root) + p) % p
+	nbytes := lines * scc.CacheLine
+
+	for mask := 1; mask < p; mask <<= 1 {
+		if vrank&mask != 0 {
+			dst := (vrank - mask + root) % p
+			// Wait until the parent is ready for THIS child: several
+			// children share the parent's one-line sent channel.
+			c.port.AwaitTurn(dst)
+			c.port.Send(dst, addr, lines)
+			return
+		}
+		if vrank+mask < p {
+			src := (vrank + mask + root) % p
+			c.port.GrantTurn(src)
+			c.port.Recv(src, scratchAddr, lines)
+			// Combine locally. The arithmetic itself is charged as
+			// compute proportional to the data size (one pass).
+			mine := make([]byte, nbytes)
+			theirs := make([]byte, nbytes)
+			chip.Private(me).Read(mine, addr, nbytes)
+			chip.Private(me).Read(theirs, scratchAddr, nbytes)
+			op(mine, theirs)
+			chip.Private(me).Write(addr, mine)
+			core.Compute(combineCost(lines))
+		}
+	}
+}
+
+// combineCost charges one pass over `lines` cache lines of cached data
+// for the reduction arithmetic: ~10 ns per line on a P54C-class core.
+func combineCost(lines int) sim.Duration {
+	return sim.Duration(lines) * 10 * sim.Nanosecond
+}
+
+// AllReduce is Reduce to core 0 followed by a binomial broadcast of the
+// result.
+func (c *Comm) AllReduce(addr, scratchAddr, lines int, op ReduceOp) {
+	c.Reduce(0, addr, scratchAddr, lines, op)
+	c.BcastBinomial(0, addr, lines)
+}
+
+// Gather collects each core's `lines`-line block into the root: core i's
+// block ends up at addr + i·lines·32 in the root's private memory (and
+// partially on interior nodes). Binomial-tree gather in rank space.
+func (c *Comm) Gather(root, addr, lines int) {
+	me, p := c.checkBcastArgs(root, addr, lines)
+	if p == 1 {
+		return
+	}
+	vrank := ((me - root) + p) % p
+	// blockOff maps a rank-space block range to (byte addr, line count):
+	// blocks are stored by ORIGINAL core id so the root's layout is
+	// id-ordered regardless of root rotation.
+	blockAddr := func(vr int) int { return addr + ((vr+root)%p)*lines*scc.CacheLine }
+
+	for mask := 1; mask < p; mask <<= 1 {
+		if vrank&mask != 0 {
+			// Send my accumulated range [vrank, vrank+mask) ∩ [0,p),
+			// once the parent grants this child its turn.
+			hi := vrank + mask
+			if hi > p {
+				hi = p
+			}
+			dst := (vrank - mask + root) % p
+			c.port.AwaitTurn(dst)
+			for vr := vrank; vr < hi; vr++ {
+				c.port.Send(dst, blockAddr(vr), lines)
+			}
+			return
+		}
+		if vrank+mask < p {
+			src := (vrank + mask + root) % p
+			hi := vrank + 2*mask
+			if hi > p {
+				hi = p
+			}
+			c.port.GrantTurn(src)
+			for vr := vrank + mask; vr < hi; vr++ {
+				c.port.Recv(src, blockAddr(vr), lines)
+			}
+		}
+	}
+}
+
+// Scatter distributes P `lines`-line blocks from the root: core i
+// receives the block stored at addr + i·lines·32 in the root's memory,
+// into the same address in its own memory. Recursive halving, the mirror
+// of Gather.
+func (c *Comm) Scatter(root, addr, lines int) {
+	me, p := c.checkBcastArgs(root, addr, lines)
+	if p == 1 {
+		return
+	}
+	vrank := ((me - root) + p) % p
+	blockAddr := func(vr int) int { return addr + ((vr+root)%p)*lines*scc.CacheLine }
+
+	mask := 1
+	for mask < p {
+		if vrank&mask != 0 {
+			src := (vrank - mask + root) % p
+			hi := vrank + mask
+			if hi > p {
+				hi = p
+			}
+			for vr := vrank; vr < hi; vr++ {
+				c.port.Recv(src, blockAddr(vr), lines)
+			}
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if vrank+mask < p {
+			dst := (vrank + mask + root) % p
+			hi := vrank + 2*mask
+			if hi > p {
+				hi = p
+			}
+			for vr := vrank + mask; vr < hi; vr++ {
+				c.port.Send(dst, blockAddr(vr), lines)
+			}
+		}
+		mask >>= 1
+	}
+}
+
+// AllGather exchanges every core's `lines`-line block so all cores end up
+// with all P blocks, id-ordered: core i contributes the block at
+// addr + i·lines·32. Ring algorithm with parity-ordered send/recv, P−1
+// rounds — the same exchange structure as the allgather phase of the
+// scatter-allgather broadcast.
+func (c *Comm) AllGather(addr, lines int) {
+	me, p := c.checkBcastArgs(0, addr, lines)
+	if p == 1 {
+		return
+	}
+	blockAddr := func(id int) int { return addr + ((id%p+p)%p)*lines*scc.CacheLine }
+	left, right := (me-1+p)%p, (me+1)%p
+	sendFirst := me%2 == 0
+	if p%2 == 1 && me == p-1 {
+		sendFirst = false
+	}
+	for t := 0; t < p-1; t++ {
+		sendBlock := blockAddr(me + t)
+		recvBlock := blockAddr(me + 1 + t)
+		if sendFirst {
+			c.port.Send(left, sendBlock, lines)
+			c.port.Recv(right, recvBlock, lines)
+		} else {
+			c.port.Recv(right, recvBlock, lines)
+			c.port.Send(left, sendBlock, lines)
+		}
+	}
+}

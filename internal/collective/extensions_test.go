@@ -1,0 +1,200 @@
+package collective
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rcce"
+	"repro/internal/rma"
+	"repro/internal/scc"
+)
+
+func int64Lines(lines int, f func(lane int) int64) []byte {
+	b := make([]byte, lines*scc.CacheLine)
+	for i := 0; i*8 < len(b); i++ {
+		binary.LittleEndian.PutUint64(b[i*8:], uint64(f(i)))
+	}
+	return b
+}
+
+func TestReduceSum(t *testing.T) {
+	const n, lines = 12, 4
+	chip := rma.NewChipN(scc.DefaultConfig(), n)
+	for i := 0; i < n; i++ {
+		id := int64(i)
+		chip.Private(i).Write(0, int64Lines(lines, func(lane int) int64 { return id + int64(lane) }))
+	}
+	const scratch = 64 * scc.CacheLine
+	chip.Run(func(core *rma.Core) {
+		NewComm(rcce.NewPort(core)).Reduce(0, 0, scratch, lines, SumInt64)
+	})
+	got := make([]byte, lines*scc.CacheLine)
+	chip.Private(0).Read(got, 0, len(got))
+	// Sum over i of (i + lane) = n·lane + n(n-1)/2.
+	for lane := 0; lane*8 < len(got); lane++ {
+		want := int64(n*lane) + int64(n*(n-1)/2)
+		if v := int64(binary.LittleEndian.Uint64(got[lane*8:])); v != want {
+			t.Fatalf("lane %d = %d, want %d", lane, v, want)
+		}
+	}
+}
+
+func TestReduceMaxNonZeroRoot(t *testing.T) {
+	const n, lines, root = 9, 2, 4
+	chip := rma.NewChipN(scc.DefaultConfig(), n)
+	for i := 0; i < n; i++ {
+		id := int64(i)
+		chip.Private(i).Write(0, int64Lines(lines, func(lane int) int64 { return id * int64(lane+1) % 7 }))
+	}
+	chip.Run(func(core *rma.Core) {
+		NewComm(rcce.NewPort(core)).Reduce(root, 0, 32*scc.CacheLine, lines, MaxInt64)
+	})
+	got := make([]byte, lines*scc.CacheLine)
+	chip.Private(root).Read(got, 0, len(got))
+	for lane := 0; lane*8 < len(got); lane++ {
+		var want int64
+		for i := int64(0); i < n; i++ {
+			if v := i * int64(lane+1) % 7; v > want {
+				want = v
+			}
+		}
+		if v := int64(binary.LittleEndian.Uint64(got[lane*8:])); v != want {
+			t.Fatalf("lane %d = %d, want %d", lane, v, want)
+		}
+	}
+}
+
+func TestAllReduce(t *testing.T) {
+	const n, lines = 8, 3
+	chip := rma.NewChipN(scc.DefaultConfig(), n)
+	for i := 0; i < n; i++ {
+		id := int64(i)
+		chip.Private(i).Write(0, int64Lines(lines, func(lane int) int64 { return id }))
+	}
+	chip.Run(func(core *rma.Core) {
+		NewComm(rcce.NewPort(core)).AllReduce(0, 32*scc.CacheLine, lines, SumInt64)
+	})
+	want := int64(n * (n - 1) / 2)
+	for i := 0; i < n; i++ {
+		got := make([]byte, lines*scc.CacheLine)
+		chip.Private(i).Read(got, 0, len(got))
+		for lane := 0; lane*8 < len(got); lane++ {
+			if v := int64(binary.LittleEndian.Uint64(got[lane*8:])); v != want {
+				t.Fatalf("core %d lane %d = %d, want %d", i, lane, v, want)
+			}
+		}
+	}
+}
+
+func TestGatherScatterRoundTrip(t *testing.T) {
+	const n, lines = 11, 2
+	blockBytes := lines * scc.CacheLine
+
+	// Scatter: root 3 holds n blocks; each core must receive its own.
+	chip := rma.NewChipN(scc.DefaultConfig(), n)
+	blocks := make([][]byte, n)
+	for i := range blocks {
+		blocks[i] = pattern(blockBytes, byte(i+1))
+		chip.Private(3).Write(i*blockBytes, blocks[i])
+	}
+	chip.Run(func(core *rma.Core) {
+		NewComm(rcce.NewPort(core)).Scatter(3, 0, lines)
+	})
+	for i := 0; i < n; i++ {
+		got := make([]byte, blockBytes)
+		chip.Private(i).Read(got, i*blockBytes, blockBytes)
+		if !bytes.Equal(got, blocks[i]) {
+			t.Fatalf("scatter: core %d block corrupted", i)
+		}
+	}
+
+	// Gather: each core contributes a block; root 5 must hold all.
+	chip2 := rma.NewChipN(scc.DefaultConfig(), n)
+	for i := range blocks {
+		chip2.Private(i).Write(i*blockBytes, blocks[i])
+	}
+	chip2.Run(func(core *rma.Core) {
+		NewComm(rcce.NewPort(core)).Gather(5, 0, lines)
+	})
+	for i := 0; i < n; i++ {
+		got := make([]byte, blockBytes)
+		chip2.Private(5).Read(got, i*blockBytes, blockBytes)
+		if !bytes.Equal(got, blocks[i]) {
+			t.Fatalf("gather: block %d corrupted at root", i)
+		}
+	}
+}
+
+func TestAllGather(t *testing.T) {
+	for _, n := range []int{2, 7, 16} { // even, odd, power of two
+		const lines = 3
+		blockBytes := lines * scc.CacheLine
+		chip := rma.NewChipN(scc.DefaultConfig(), n)
+		blocks := make([][]byte, n)
+		for i := range blocks {
+			blocks[i] = pattern(blockBytes, byte(10*i+1))
+			chip.Private(i).Write(i*blockBytes, blocks[i])
+		}
+		chip.Run(func(core *rma.Core) {
+			NewComm(rcce.NewPort(core)).AllGather(0, lines)
+		})
+		for c := 0; c < n; c++ {
+			for i := 0; i < n; i++ {
+				got := make([]byte, blockBytes)
+				chip.Private(c).Read(got, i*blockBytes, blockBytes)
+				if !bytes.Equal(got, blocks[i]) {
+					t.Fatalf("n=%d: core %d missing block %d", n, c, i)
+				}
+			}
+		}
+	}
+}
+
+func TestAllGatherProperty(t *testing.T) {
+	f := func(nRaw uint8, linesRaw uint8) bool {
+		n := int(nRaw%12) + 1
+		lines := int(linesRaw%5) + 1
+		blockBytes := lines * scc.CacheLine
+		chip := rma.NewChipN(scc.DefaultConfig(), n)
+		for i := 0; i < n; i++ {
+			chip.Private(i).Write(i*blockBytes, pattern(blockBytes, byte(i*3+1)))
+		}
+		chip.Run(func(core *rma.Core) {
+			NewComm(rcce.NewPort(core)).AllGather(0, lines)
+		})
+		for c := 0; c < n; c++ {
+			for i := 0; i < n; i++ {
+				got := make([]byte, blockBytes)
+				chip.Private(c).Read(got, i*blockBytes, blockBytes)
+				if !bytes.Equal(got, pattern(blockBytes, byte(i*3+1))) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceValidation(t *testing.T) {
+	mustPanic := func(name string, f func(c *Comm)) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		chip := rma.NewChipN(scc.DefaultConfig(), 2)
+		chip.Run(func(core *rma.Core) {
+			if core.ID() == 0 {
+				f(NewComm(rcce.NewPort(core)))
+			}
+		})
+	}
+	mustPanic("nil op", func(c *Comm) { c.Reduce(0, 0, 64*scc.CacheLine, 1, nil) })
+	mustPanic("misaligned scratch", func(c *Comm) { c.Reduce(0, 0, 7, 1, SumInt64) })
+}

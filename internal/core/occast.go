@@ -1,0 +1,286 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/rma"
+	"repro/internal/scc"
+)
+
+// Config parameterizes OC-Bcast.
+type Config struct {
+	// K is the fan-out of the message-propagation tree. The paper uses
+	// k = 7 as the latency/throughput sweet spot and shows k up to 24
+	// is contention-safe on the SCC.
+	K int
+	// BufLines is Moc, the chunk size in cache lines. The paper fixes
+	// it to 96 so that two buffers plus k+1 flags fit in the 256-line
+	// MPB for any k ≤ 47.
+	BufLines int
+	// DoubleBuffer enables the two-buffer pipeline of §4.2. Disabling
+	// it (single buffer, still chunked and pipelined down the tree) is
+	// the paper-motivated ablation.
+	DoubleBuffer bool
+	// SequentialNotify replaces the binary notification tree with the
+	// naive scheme §4.1 argues against: the parent sets all k children's
+	// notify flags itself. Ablation only.
+	SequentialNotify bool
+	// LeafDirect enables the §5.4 optimization the paper describes but
+	// leaves out for simplicity: a leaf copies each chunk from its
+	// parent's MPB straight to private off-chip memory, skipping its
+	// own MPB entirely (it has no children to serve).
+	LeafDirect bool
+}
+
+// DefaultConfig is the configuration of the paper's experiments.
+func DefaultConfig() Config {
+	return Config{K: 7, BufLines: 96, DoubleBuffer: true}
+}
+
+// Validate checks that the MPB layout fits: numBuffers·Moc data lines plus
+// 1 notify flag plus k done flags within the 256-line MPB.
+func (c Config) Validate() error {
+	if c.K < 1 {
+		return fmt.Errorf("occast: k=%d must be >= 1", c.K)
+	}
+	if c.BufLines < 1 {
+		return fmt.Errorf("occast: BufLines=%d must be >= 1", c.BufLines)
+	}
+	nb := 1
+	if c.DoubleBuffer {
+		nb = 2
+	}
+	// Three lines at the top of the MPB are reserved for the
+	// root-change fence barrier.
+	avail := scc.MPBLinesPerCore - 3
+	need := nb*c.BufLines + 1 + c.K
+	if need > avail {
+		return fmt.Errorf("occast: layout needs %d MPB lines (buffers %d×%d + %d flags), only %d available",
+			need, nb, c.BufLines, c.K+1, avail)
+	}
+	return nil
+}
+
+// Fence barrier flag lines (fixed, independent of Config so that cores
+// with different configs could still fence together).
+const (
+	fenceChildA  = scc.MPBLinesPerCore - 3
+	fenceChildB  = scc.MPBLinesPerCore - 2
+	fenceRelease = scc.MPBLinesPerCore - 1
+)
+
+// numBuffers reports 2 with double buffering, else 1.
+func (c Config) numBuffers() int {
+	if c.DoubleBuffer {
+		return 2
+	}
+	return 1
+}
+
+// MPB line layout helpers.
+func (c Config) bufLine(chunk int) int {
+	return (chunk % c.numBuffers()) * c.BufLines
+}
+func (c Config) notifyLine() int    { return c.numBuffers() * c.BufLines }
+func (c Config) doneLine(i int) int { return c.numBuffers()*c.BufLines + 1 + i }
+
+// Broadcaster holds a core's persistent OC-Bcast state. Flag values are
+// chunk sequence numbers offset by a base that advances after every
+// broadcast, so flags never need resetting and stale values can never
+// satisfy a later wait (§5.1's one-line-per-flag atomicity argument).
+type Broadcaster struct {
+	core     *rma.Core
+	cfg      Config
+	base     uint64
+	lastRoot int
+	fenceSeq uint64
+}
+
+// NewBroadcaster prepares OC-Bcast state for one core.
+func NewBroadcaster(core *rma.Core, cfg Config) *Broadcaster {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Broadcaster{core: core, cfg: cfg, lastRoot: -1}
+}
+
+// fence is a gather-release binary-tree barrier over three dedicated MPB
+// flag lines. OC-Bcast's per-core notify lines have a single writer only
+// while the tree shape is fixed; when the root changes between
+// broadcasts, a new parent could overwrite a notify flag the old tree has
+// not consumed yet. The fence quiesces the chip before adopting the new
+// tree. (The paper's experiments always broadcast from core 0, so the
+// fence never triggers there.)
+func (b *Broadcaster) fence() {
+	b.fenceSeq++
+	c := b.core
+	me, n := c.ID(), c.N()
+	left, right := 2*me+1, 2*me+2
+	if left < n {
+		c.WaitFlagGE(fenceChildA, b.fenceSeq)
+	}
+	if right < n {
+		c.WaitFlagGE(fenceChildB, b.fenceSeq)
+	}
+	if me != 0 {
+		parent := (me - 1) / 2
+		line := fenceChildA
+		if me == 2*parent+2 {
+			line = fenceChildB
+		}
+		c.SetFlag(parent, line, b.fenceSeq)
+		c.WaitFlagGE(fenceRelease, b.fenceSeq)
+	}
+	if left < n {
+		c.SetFlag(left, fenceRelease, b.fenceSeq)
+	}
+	if right < n {
+		c.SetFlag(right, fenceRelease, b.fenceSeq)
+	}
+}
+
+// Core returns the underlying RMA core handle.
+func (b *Broadcaster) Core() *rma.Core { return b.core }
+
+// Bcast broadcasts `lines` cache lines from the root's private memory at
+// byte address addr into every other core's private memory at the same
+// address. All cores (root included) must call Bcast with matching
+// arguments, MPI style. It implements §4 in full:
+//
+// root, per chunk: wait for the chunk's buffer to be consumed (done
+// flags), put the chunk from private memory into its own MPB, notify the
+// first two children of its binary notification tree.
+//
+// non-root, per chunk: wait notifyFlag; (i) forward the notification
+// within the parent's notification tree; (ii) get the chunk from the
+// parent's MPB into its own MPB (waiting for its own buffer to be free
+// first, if it has children); (iii) set its doneFlag in the parent's MPB;
+// (iv) notify the first two of its own children; (v) get the chunk from
+// its MPB to private off-chip memory.
+func (b *Broadcaster) Bcast(root, addr, lines int) {
+	c := b.core
+	p := c.N()
+	if lines <= 0 {
+		panic(fmt.Sprintf("occast: non-positive message size %d", lines))
+	}
+	if addr%scc.CacheLine != 0 {
+		panic(fmt.Sprintf("occast: address %d not cache-line aligned", addr))
+	}
+	if p == 1 {
+		return
+	}
+	if b.lastRoot != -1 && b.lastRoot != root {
+		b.fence()
+	}
+	b.lastRoot = root
+	t := b.buildTree(root)
+	if t.Rank == 0 {
+		b.runRoot(t, addr, lines)
+	} else {
+		b.runNonRoot(t, addr, lines)
+	}
+}
+
+// buildTree constructs this core's tree node, applying the ablation
+// rewiring when configured.
+func (b *Broadcaster) buildTree(root int) Tree {
+	t := BuildTree(b.core.ID(), root, b.core.N(), b.cfg.K)
+	if b.cfg.SequentialNotify {
+		// Ablation: the parent notifies every child itself; nothing is
+		// forwarded sibling-to-sibling.
+		t.NotifyFwd = nil
+		t.NotifyOwn = t.Children
+		if t.Parent >= 0 {
+			t.NotifyFrom = t.Parent
+		}
+	}
+	return t
+}
+
+// runRoot executes the root's side of the chunk pipeline and advances the
+// flag-sequence base.
+func (b *Broadcaster) runRoot(t Tree, addr, lines int) {
+	c, cfg := b.core, b.cfg
+	nchunks := (lines + cfg.BufLines - 1) / cfg.BufLines
+	nb := cfg.numBuffers()
+	seq := func(ch int) uint64 { return b.base + uint64(ch) + 1 }
+
+	for ch := 0; ch < nchunks; ch++ {
+		m := lines - ch*cfg.BufLines
+		if m > cfg.BufLines {
+			m = cfg.BufLines
+		}
+		buf := cfg.bufLine(ch)
+		// Reuse the buffer only after every child consumed the chunk
+		// that previously occupied it.
+		if ch >= nb {
+			for i := range t.Children {
+				c.WaitFlagGE(cfg.doneLine(i), seq(ch-nb))
+			}
+		}
+		c.PutMemToMPB(c.ID(), buf, addr+ch*cfg.BufLines*scc.CacheLine, m)
+		for _, child := range t.NotifyOwn {
+			c.SetFlag(child, cfg.notifyLine(), seq(ch))
+		}
+	}
+
+	// The root frees its MPB: poll all k done flags for the final chunk
+	// (flags are monotone, so the last chunk's sequence covers all
+	// earlier ones). This is the k=47 polling cost noted in §5.2.3.
+	for i := range t.Children {
+		c.WaitFlagGE(cfg.doneLine(i), seq(nchunks-1))
+	}
+	b.base += uint64(nchunks)
+}
+
+// runNonRoot executes an intermediate node's or leaf's side of the chunk
+// pipeline and advances the flag-sequence base.
+func (b *Broadcaster) runNonRoot(t Tree, addr, lines int) {
+	c, cfg := b.core, b.cfg
+	nchunks := (lines + cfg.BufLines - 1) / cfg.BufLines
+	nb := cfg.numBuffers()
+	seq := func(ch int) uint64 { return b.base + uint64(ch) + 1 }
+
+	for ch := 0; ch < nchunks; ch++ {
+		m := lines - ch*cfg.BufLines
+		if m > cfg.BufLines {
+			m = cfg.BufLines
+		}
+		chunkAddr := addr + ch*cfg.BufLines*scc.CacheLine
+		buf := cfg.bufLine(ch)
+
+		// Wait to learn the chunk is in the parent's MPB.
+		c.WaitFlagGE(cfg.notifyLine(), seq(ch))
+		// (i) Forward the notification to siblings below me in the
+		// parent's binary notification tree.
+		for _, sib := range t.NotifyFwd {
+			c.SetFlag(sib, cfg.notifyLine(), seq(ch))
+		}
+		if cfg.LeafDirect && t.IsLeaf() {
+			// §5.4 optimization: a leaf serves nobody, so it pulls the
+			// chunk straight into private memory and releases the
+			// parent's buffer — one MPB pass saved per chunk.
+			c.GetMPBToMem(t.Parent, buf, chunkAddr, m)
+			c.SetFlag(t.Parent, cfg.doneLine(t.ChildIdx), seq(ch))
+			continue
+		}
+		// Intermediate nodes must not overwrite a buffer their own
+		// children are still reading.
+		if !t.IsLeaf() && ch >= nb {
+			for i := range t.Children {
+				c.WaitFlagGE(cfg.doneLine(i), seq(ch-nb))
+			}
+		}
+		// (ii) Pull the chunk parent-MPB -> own MPB.
+		c.GetMPBToMPB(t.Parent, buf, buf, m)
+		// (iii) Tell the parent this chunk is consumed.
+		c.SetFlag(t.Parent, cfg.doneLine(t.ChildIdx), seq(ch))
+		// (iv) Wake my own subtree.
+		for _, child := range t.NotifyOwn {
+			c.SetFlag(child, cfg.notifyLine(), seq(ch))
+		}
+		// (v) Drain the chunk to private off-chip memory.
+		c.GetMPBToMem(c.ID(), buf, chunkAddr, m)
+	}
+	b.base += uint64(nchunks)
+}

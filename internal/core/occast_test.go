@@ -1,0 +1,343 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rma"
+	"repro/internal/scc"
+	"repro/internal/sim"
+)
+
+func pattern(n int, seed byte) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(int(seed)*131 + i*29)
+	}
+	return b
+}
+
+// runBcast broadcasts `lines` cache lines from root on n cores with the
+// given OC-Bcast config and returns the chip for inspection.
+func runBcast(t *testing.T, n, root, lines int, cfg Config) *rma.Chip {
+	t.Helper()
+	chip := rma.NewChipN(scc.DefaultConfig(), n)
+	payload := pattern(lines*scc.CacheLine, byte(lines))
+	chip.Private(root).Write(0, payload)
+	chip.Run(func(c *rma.Core) {
+		NewBroadcaster(c, cfg).Bcast(root, 0, lines)
+	})
+	for i := 0; i < n; i++ {
+		if i == root {
+			continue
+		}
+		got := make([]byte, len(payload))
+		chip.Private(i).Read(got, 0, len(got))
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("core %d payload corrupted (n=%d root=%d lines=%d k=%d db=%v)",
+				i, n, root, lines, cfg.K, cfg.DoubleBuffer)
+		}
+	}
+	return chip
+}
+
+func TestBcastSingleChunk(t *testing.T) {
+	runBcast(t, 12, 0, 5, DefaultConfig())
+}
+
+func TestBcastExactChunk(t *testing.T) {
+	runBcast(t, 12, 0, 96, DefaultConfig())
+}
+
+func TestBcast97Lines(t *testing.T) {
+	// The paper's Figure 8b calls out 97 lines: one full chunk + one
+	// 1-line chunk.
+	runBcast(t, 48, 0, 97, DefaultConfig())
+}
+
+func TestBcastManyChunks(t *testing.T) {
+	runBcast(t, 48, 0, 1000, DefaultConfig())
+}
+
+func TestBcastNonZeroRoot(t *testing.T) {
+	runBcast(t, 48, 17, 200, DefaultConfig())
+}
+
+func TestBcastKExtremes(t *testing.T) {
+	for _, k := range []int{1, 2, 47} {
+		cfg := DefaultConfig()
+		cfg.K = k
+		runBcast(t, 48, 0, 300, cfg)
+	}
+}
+
+func TestBcastSingleBuffer(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DoubleBuffer = false
+	runBcast(t, 48, 0, 500, cfg)
+}
+
+func TestBcastLeafDirect(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.LeafDirect = true
+	for _, tc := range []struct{ n, root, lines int }{
+		{48, 0, 300}, {12, 5, 97}, {2, 0, 10},
+	} {
+		runBcast(t, tc.n, tc.root, tc.lines, cfg)
+	}
+}
+
+// TestLeafDirectSavesLeafTraffic: with the §5.4 optimization a leaf's
+// MPB never sees the payload, and its latency improves.
+func TestLeafDirectSavesLeafTraffic(t *testing.T) {
+	const lines = 192
+	run := func(leafDirect bool) (sim.Time, *rma.Chip) {
+		cfg := DefaultConfig()
+		cfg.LeafDirect = leafDirect
+		chip := rma.NewChipN(scc.DefaultConfig(), 48)
+		chip.Private(0).Write(0, pattern(lines*scc.CacheLine, 6))
+		var last sim.Time
+		chip.Run(func(c *rma.Core) {
+			NewBroadcaster(c, cfg).Bcast(0, 0, lines)
+			if c.Now() > last {
+				last = c.Now()
+			}
+		})
+		return last, chip
+	}
+	plain, _ := run(false)
+	direct, chip := run(true)
+	if direct >= plain {
+		t.Fatalf("leaf-direct latency %v not below default %v", direct, plain)
+	}
+	// Core 47 (rank 47, k=7) is a leaf: zero MPB writes of payload; its
+	// only MPB writes are its done flags (one per chunk).
+	leaf := chip.Counter[47]
+	nchunks := (lines + 95) / 96
+	if leaf.MPBWriteLines != int64(nchunks) {
+		t.Fatalf("leaf MPB writes = %d, want %d (done flags only)", leaf.MPBWriteLines, nchunks)
+	}
+}
+
+func TestBcastTwoCores(t *testing.T) {
+	runBcast(t, 2, 1, 100, DefaultConfig())
+}
+
+func TestBcastSingleCoreNoop(t *testing.T) {
+	chip := rma.NewChipN(scc.DefaultConfig(), 1)
+	chip.Run(func(c *rma.Core) {
+		NewBroadcaster(c, DefaultConfig()).Bcast(0, 0, 10)
+	})
+}
+
+// TestBcastBackToBack runs consecutive broadcasts (different roots and
+// sizes) through the same Broadcasters: the monotonic flag sequences must
+// isolate them.
+func TestBcastBackToBack(t *testing.T) {
+	chip := rma.NewChipN(scc.DefaultConfig(), 16)
+	p1 := pattern(97*scc.CacheLine, 1)
+	p2 := pattern(10*scc.CacheLine, 2)
+	p3 := pattern(200*scc.CacheLine, 3)
+	chip.Private(0).Write(0, p1)
+	chip.Private(5).Write(8192, p2)
+	chip.Private(0).Write(16384, p3)
+	chip.Run(func(c *rma.Core) {
+		b := NewBroadcaster(c, DefaultConfig())
+		b.Bcast(0, 0, 97)
+		b.Bcast(5, 8192, 10)
+		b.Bcast(0, 16384, 200)
+	})
+	for i := 0; i < 16; i++ {
+		for _, tc := range []struct {
+			addr int
+			want []byte
+		}{{0, p1}, {8192, p2}, {16384, p3}} {
+			got := make([]byte, len(tc.want))
+			chip.Private(i).Read(got, tc.addr, len(got))
+			if !bytes.Equal(got, tc.want) {
+				t.Fatalf("core %d: broadcast at addr %d corrupted", i, tc.addr)
+			}
+		}
+	}
+}
+
+// TestBcastProperty: payload integrity for random (n, root, k, lines).
+func TestBcastProperty(t *testing.T) {
+	f := func(nRaw, rootRaw, kRaw uint8, linesRaw uint16) bool {
+		n := int(nRaw%48) + 1
+		root := int(rootRaw) % n
+		k := int(kRaw%47) + 1
+		lines := int(linesRaw%400) + 1
+		cfg := Config{K: k, BufLines: 96, DoubleBuffer: true}
+		chip := rma.NewChipN(scc.DefaultConfig(), n)
+		payload := pattern(lines*scc.CacheLine, byte(lines))
+		chip.Private(root).Write(0, payload)
+		chip.Run(func(c *rma.Core) {
+			NewBroadcaster(c, cfg).Bcast(root, 0, lines)
+		})
+		for i := 0; i < n; i++ {
+			got := make([]byte, len(payload))
+			chip.Private(i).Read(got, 0, len(got))
+			if !bytes.Equal(got, payload) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBcastDeterminism: identical virtual-time results across runs.
+func TestBcastDeterminism(t *testing.T) {
+	run := func() []sim.Time {
+		chip := rma.NewChipN(scc.DefaultConfig(), 48)
+		chip.Private(0).Write(0, pattern(192*scc.CacheLine, 7))
+		times := make([]sim.Time, 48)
+		chip.Run(func(c *rma.Core) {
+			NewBroadcaster(c, DefaultConfig()).Bcast(0, 0, 192)
+			times[c.ID()] = c.Now()
+		})
+		return times
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic: core %d finished at %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestDoubleBufferingHelpsLatency verifies the §4.2 comparison: without
+// double buffering chunks are MPB-buffer sized (1×192 lines here); with
+// it they are halved (2×96). For a message that fills the buffer space,
+// double buffering lets children start pulling the first half while the
+// root stages the second, cutting latency.
+func TestDoubleBufferingHelpsLatency(t *testing.T) {
+	run := func(db bool) sim.Time {
+		cfg := DefaultConfig()
+		cfg.DoubleBuffer = db
+		if db {
+			cfg.BufLines = 96
+		} else {
+			cfg.BufLines = 192
+		}
+		chip := rma.NewChipN(scc.DefaultConfig(), 48)
+		chip.Private(0).Write(0, pattern(192*scc.CacheLine, 9))
+		var last sim.Time
+		chip.Run(func(c *rma.Core) {
+			NewBroadcaster(c, cfg).Bcast(0, 0, 192)
+			if c.Now() > last {
+				last = c.Now()
+			}
+		})
+		return last
+	}
+	single, double := run(false), run(true)
+	if double >= single {
+		t.Fatalf("double buffering did not help: double %v >= single %v", double, single)
+	}
+}
+
+// TestDoubleBufferingThroughputParity: for pipeline-filling messages the
+// peak throughput is buffer-count independent (Formula 15's denominator
+// is per-chunk work); double buffering must not be slower.
+func TestDoubleBufferingThroughputParity(t *testing.T) {
+	run := func(db bool, bufLines int) sim.Time {
+		cfg := DefaultConfig()
+		cfg.DoubleBuffer = db
+		cfg.BufLines = bufLines
+		chip := rma.NewChipN(scc.DefaultConfig(), 48)
+		chip.Private(0).Write(0, pattern(2048*scc.CacheLine, 9))
+		var last sim.Time
+		chip.Run(func(c *rma.Core) {
+			NewBroadcaster(c, cfg).Bcast(0, 0, 2048)
+			if c.Now() > last {
+				last = c.Now()
+			}
+		})
+		return last
+	}
+	single, double := run(false, 192), run(true, 96)
+	if double > single+single/10 {
+		t.Fatalf("double buffering notably slower on large messages: %v vs %v", double, single)
+	}
+}
+
+// TestLargerKReducesDepthLatency: for small messages, k=7 must beat k=2
+// (fewer tree levels on the critical path), per §6.2.1.
+func TestLargerKReducesDepthLatency(t *testing.T) {
+	lat := func(k int) sim.Time {
+		cfg := DefaultConfig()
+		cfg.K = k
+		chip := rma.NewChipN(scc.DefaultConfig(), 48)
+		chip.Private(0).Write(0, pattern(96*scc.CacheLine, 4))
+		var last sim.Time
+		chip.Run(func(c *rma.Core) {
+			NewBroadcaster(c, cfg).Bcast(0, 0, 96)
+			if c.Now() > last {
+				last = c.Now()
+			}
+		})
+		return last
+	}
+	l2, l7 := lat(2), lat(7)
+	if l7 >= l2 {
+		t.Fatalf("k=7 latency %v not better than k=2 latency %v", l7, l2)
+	}
+}
+
+// TestOffChipTrafficMinimal verifies the §5 explanation: in OC-Bcast a
+// non-root core's off-chip traffic is exactly the message size (one write
+// pass), and the root's is exactly one read pass — unlike send/receive
+// algorithms which re-read/re-write on every tree level.
+func TestOffChipTrafficMinimal(t *testing.T) {
+	const lines = 300
+	chip := runBcast(t, 48, 0, lines, DefaultConfig())
+	for i := 0; i < 48; i++ {
+		ctr := chip.Counter[i]
+		if i == 0 {
+			if ctr.MemReadLines != lines || ctr.MemWriteLines != 0 {
+				t.Fatalf("root off-chip traffic r=%d w=%d, want %d/0",
+					ctr.MemReadLines, ctr.MemWriteLines, lines)
+			}
+			continue
+		}
+		if ctr.MemWriteLines != lines || ctr.MemReadLines != 0 {
+			t.Fatalf("core %d off-chip traffic r=%d w=%d, want 0/%d",
+				i, ctr.MemReadLines, ctr.MemWriteLines, lines)
+		}
+	}
+}
+
+func TestBcastPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("bad config", func() {
+		chip := rma.NewChipN(scc.DefaultConfig(), 2)
+		chip.Run(func(c *rma.Core) {
+			NewBroadcaster(c, Config{K: 0, BufLines: 96})
+		})
+	})
+	mustPanic("zero lines", func() {
+		chip := rma.NewChipN(scc.DefaultConfig(), 2)
+		chip.Run(func(c *rma.Core) {
+			NewBroadcaster(c, DefaultConfig()).Bcast(0, 0, 0)
+		})
+	})
+	mustPanic("misaligned", func() {
+		chip := rma.NewChipN(scc.DefaultConfig(), 2)
+		chip.Run(func(c *rma.Core) {
+			NewBroadcaster(c, DefaultConfig()).Bcast(0, 5, 1)
+		})
+	})
+}

@@ -1,0 +1,111 @@
+// Package core implements OC-Bcast — the paper's contribution: a pipelined
+// k-ary tree broadcast built directly on one-sided RMA, with binary
+// notification trees and double buffering (paper §4).
+package core
+
+import "fmt"
+
+// Tree describes one core's position in the k-ary message-propagation
+// tree and in the binary notification trees (paper Figure 5). The tree is
+// built from core ids exactly as §4.1 specifies: with root s and P cores,
+// the children of the core at rank i (rank = (id−s) mod P) are the cores
+// at ranks ik+1 … (i+1)k.
+type Tree struct {
+	P, K     int
+	Root     int
+	Self     int
+	Rank     int   // position in root-rotated rank space; root has rank 0
+	Parent   int   // core id of the propagation-tree parent; -1 for the root
+	ChildIdx int   // index of this core among its parent's children (0..K-1); -1 for root
+	Children []int // core ids of propagation-tree children, in rank order
+
+	// NotifyFrom is the core that sets this core's notifyFlag: the
+	// propagation parent for the first two siblings, an earlier sibling
+	// for the rest. -1 for the root.
+	NotifyFrom int
+	// NotifyFwd lists the sibling core ids this core must forward the
+	// parent's notification to (step (i) of §4.1).
+	NotifyFwd []int
+	// NotifyOwn lists the first (up to) two of this core's own children
+	// — the roots of its own binary notification tree (step (iv)).
+	NotifyOwn []int
+}
+
+// rankToID maps a rank back to a core id for root s.
+func rankToID(rank, s, p int) int { return (s + rank) % p }
+
+// BuildTree computes the tree node for core self with root s, P cores and
+// fan-out k.
+func BuildTree(self, s, p, k int) Tree {
+	if p < 1 {
+		panic(fmt.Sprintf("core: P=%d", p))
+	}
+	if k < 1 {
+		panic(fmt.Sprintf("core: k=%d must be >= 1", k))
+	}
+	if self < 0 || self >= p || s < 0 || s >= p {
+		panic(fmt.Sprintf("core: self=%d root=%d out of range [0,%d)", self, s, p))
+	}
+	rank := ((self - s) + p) % p
+	t := Tree{P: p, K: k, Root: s, Self: self, Rank: rank, Parent: -1, ChildIdx: -1, NotifyFrom: -1}
+
+	// Propagation children: ranks rank*k+1 .. rank*k+k, bounded by P.
+	for j := 1; j <= k; j++ {
+		cr := rank*k + j
+		if cr >= p {
+			break
+		}
+		t.Children = append(t.Children, rankToID(cr, s, p))
+	}
+
+	if rank > 0 {
+		parentRank := (rank - 1) / k
+		t.Parent = rankToID(parentRank, s, p)
+		t.ChildIdx = (rank - 1) % k
+
+		// Sibling group: the parent's children, indexed 0..groupSize-1.
+		groupBase := parentRank*k + 1
+		groupSize := k
+		if groupBase+groupSize > p {
+			groupSize = p - groupBase
+		}
+		j := t.ChildIdx
+		// Binary notification tree over the sibling group: the parent
+		// notifies indexes 0 and 1; index j notifies 2j+2 and 2j+3.
+		if j <= 1 {
+			t.NotifyFrom = t.Parent
+		} else {
+			t.NotifyFrom = rankToID(groupBase+(j-2)/2, s, p)
+		}
+		for _, nj := range []int{2*j + 2, 2*j + 3} {
+			if nj < groupSize {
+				t.NotifyFwd = append(t.NotifyFwd, rankToID(groupBase+nj, s, p))
+			}
+		}
+	}
+
+	// Own notification roots: first two propagation children.
+	for i := 0; i < len(t.Children) && i < 2; i++ {
+		t.NotifyOwn = append(t.NotifyOwn, t.Children[i])
+	}
+	return t
+}
+
+// IsLeaf reports whether the node has no propagation children.
+func (t Tree) IsLeaf() bool { return len(t.Children) == 0 }
+
+// Depth reports the node's depth in the propagation tree (root = 0).
+func (t Tree) Depth() int {
+	d, r := 0, t.Rank
+	for r > 0 {
+		r = (r - 1) / t.K
+		d++
+	}
+	return d
+}
+
+// TreeDepth reports the depth of the deepest node for P cores and
+// fan-out k — the O(log_k P) factor of Formula 13.
+func TreeDepth(p, k int) int {
+	return BuildTree(p-1, 0, p, k).Depth() // with root 0, rank P-1 is deepest
+}

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestFigure5Tree reproduces the exact tree of the paper's Figure 5:
+// s = 0, P = 12, k = 7.
+func TestFigure5Tree(t *testing.T) {
+	root := BuildTree(0, 0, 12, 7)
+	wantChildren := []int{1, 2, 3, 4, 5, 6, 7}
+	if len(root.Children) != len(wantChildren) {
+		t.Fatalf("root children = %v, want %v", root.Children, wantChildren)
+	}
+	for i, c := range wantChildren {
+		if root.Children[i] != c {
+			t.Fatalf("root children = %v, want %v", root.Children, wantChildren)
+		}
+	}
+	c1 := BuildTree(1, 0, 12, 7)
+	want1 := []int{8, 9, 10, 11}
+	if len(c1.Children) != 4 {
+		t.Fatalf("C1 children = %v, want %v", c1.Children, want1)
+	}
+	for i, c := range want1 {
+		if c1.Children[i] != c {
+			t.Fatalf("C1 children = %v, want %v", c1.Children, want1)
+		}
+	}
+	// Notification tree among C0's children (Figure 5, right):
+	// C0 -> C1, C2; C1 -> C3, C4; C2 -> C5, C6; C3 -> C7.
+	cases := []struct {
+		self     int
+		from     int
+		forwards []int
+	}{
+		{1, 0, []int{3, 4}},
+		{2, 0, []int{5, 6}},
+		{3, 1, []int{7}},
+		{4, 1, nil},
+		{5, 2, nil},
+		{6, 2, nil},
+		{7, 3, nil},
+	}
+	for _, tc := range cases {
+		tr := BuildTree(tc.self, 0, 12, 7)
+		if tr.NotifyFrom != tc.from {
+			t.Errorf("C%d notified by %d, want %d", tc.self, tr.NotifyFrom, tc.from)
+		}
+		if len(tr.NotifyFwd) != len(tc.forwards) {
+			t.Errorf("C%d forwards to %v, want %v", tc.self, tr.NotifyFwd, tc.forwards)
+			continue
+		}
+		for i := range tc.forwards {
+			if tr.NotifyFwd[i] != tc.forwards[i] {
+				t.Errorf("C%d forwards to %v, want %v", tc.self, tr.NotifyFwd, tc.forwards)
+			}
+		}
+	}
+	// C1's own notification roots are its first two children C8, C9
+	// (Figure 5, bottom).
+	if len(c1.NotifyOwn) != 2 || c1.NotifyOwn[0] != 8 || c1.NotifyOwn[1] != 9 {
+		t.Errorf("C1 NotifyOwn = %v, want [8 9]", c1.NotifyOwn)
+	}
+	// C8 is notified by C1 and forwards to C10, C11.
+	c8 := BuildTree(8, 0, 12, 7)
+	if c8.NotifyFrom != 1 {
+		t.Errorf("C8 notified by %d, want 1", c8.NotifyFrom)
+	}
+	if len(c8.NotifyFwd) != 2 || c8.NotifyFwd[0] != 10 || c8.NotifyFwd[1] != 11 {
+		t.Errorf("C8 forwards to %v, want [10 11]", c8.NotifyFwd)
+	}
+}
+
+// TestTreeProperties checks structural invariants for arbitrary (P, k,
+// root): every non-root core has exactly one parent that lists it as a
+// child; child ranges follow the paper's id formula; notification
+// relations stay within sibling groups and reach every sibling exactly
+// once.
+func TestTreeProperties(t *testing.T) {
+	f := func(pRaw, kRaw, sRaw uint8) bool {
+		p := int(pRaw%48) + 1
+		k := int(kRaw%47) + 1
+		s := int(sRaw) % p
+
+		childCount := make(map[int]int)
+		notifiedCount := make(map[int]int)
+		for self := 0; self < p; self++ {
+			tr := BuildTree(self, s, p, k)
+			if tr.Rank != ((self-s)+p)%p {
+				return false
+			}
+			if (self == s) != (tr.Parent == -1) {
+				return false
+			}
+			for _, c := range tr.Children {
+				childCount[c]++
+				// The child must agree on its parent.
+				ct := BuildTree(c, s, p, k)
+				if ct.Parent != self {
+					return false
+				}
+				if ct.ChildIdx < 0 || ct.ChildIdx >= k {
+					return false
+				}
+			}
+			// Notification edges.
+			if self != s {
+				if tr.NotifyFrom < 0 {
+					return false
+				}
+			}
+			for _, n := range tr.NotifyFwd {
+				notifiedCount[n]++
+				// Forwarded siblings share my parent.
+				nt := BuildTree(n, s, p, k)
+				if nt.Parent != tr.Parent {
+					return false
+				}
+			}
+			for _, n := range tr.NotifyOwn {
+				notifiedCount[n]++
+				nt := BuildTree(n, s, p, k)
+				if nt.Parent != self {
+					return false
+				}
+			}
+		}
+		// Every non-root has exactly one parent edge and exactly one
+		// notification edge.
+		for self := 0; self < p; self++ {
+			if self == s {
+				if childCount[s] != 0 || notifiedCount[s] != 0 {
+					return false
+				}
+				continue
+			}
+			if childCount[self] != 1 || notifiedCount[self] != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTreeDepth(t *testing.T) {
+	cases := []struct{ p, k, want int }{
+		{48, 47, 1},
+		{48, 7, 2},
+		{48, 2, 5}, // ranks: 1-2, 3-6, 7-14, 15-30, 31-47 -> depth 5
+		{1, 7, 0},
+		{2, 1, 1},
+		{12, 7, 2},
+	}
+	for _, tc := range cases {
+		if got := TreeDepth(tc.p, tc.k); got != tc.want {
+			t.Errorf("TreeDepth(%d,%d) = %d, want %d", tc.p, tc.k, got, tc.want)
+		}
+	}
+}
+
+func TestBuildTreePanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("k=0", func() { BuildTree(0, 0, 4, 0) })
+	mustPanic("p=0", func() { BuildTree(0, 0, 0, 2) })
+	mustPanic("self out of range", func() { BuildTree(4, 0, 4, 2) })
+	mustPanic("root out of range", func() { BuildTree(0, 4, 4, 2) })
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	// k=47 with two 96-line buffers and 48 flags fits exactly in 240+48=240...
+	// 2*96 + 1 + 47 = 240 lines <= 256.
+	c := Config{K: 47, BufLines: 96, DoubleBuffer: true}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("paper layout (k=47, Moc=96, double buffered) must fit: %v", err)
+	}
+	// Oversized layout must be rejected.
+	c = Config{K: 47, BufLines: 120, DoubleBuffer: true}
+	if c.Validate() == nil {
+		t.Fatal("oversized layout accepted")
+	}
+	if (Config{K: 0, BufLines: 96}).Validate() == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if (Config{K: 7, BufLines: 0}).Validate() == nil {
+		t.Fatal("zero buffer accepted")
+	}
+}

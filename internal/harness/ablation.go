@@ -1,0 +1,129 @@
+package harness
+
+import (
+	"fmt"
+
+	occore "repro/internal/core"
+	"repro/internal/scc"
+)
+
+// AblationBuffering compares double buffering (2×96-line chunks) with the
+// single-buffer variant (1×192-line chunks) the paper describes replacing
+// (§4.2): latency at the 192-line buffer-filling point and throughput on
+// a pipeline-filling message.
+func AblationBuffering(cfg scc.Config, reps int) *Table {
+	double := occore.Config{K: 7, BufLines: 96, DoubleBuffer: true}
+	single := occore.Config{K: 7, BufLines: 192, DoubleBuffer: false}
+
+	latD := MeanLatency(cfg, Alg{Name: "oc", OCConfig: &double}, scc.NumCores, 192, reps)
+	latS := MeanLatency(cfg, Alg{Name: "oc", OCConfig: &single}, scc.NumCores, 192, reps)
+	const big = 4096
+	thD := ThroughputMBps(big, MeanLatency(cfg, Alg{Name: "oc", OCConfig: &double}, scc.NumCores, big, 2))
+	thS := ThroughputMBps(big, MeanLatency(cfg, Alg{Name: "oc", OCConfig: &single}, scc.NumCores, big, 2))
+
+	tbl := &Table{
+		Title:   "Ablation — double buffering (2×96) vs single buffer (1×192), k = 7",
+		Columns: []string{"variant", "latency @192CL (µs)", "throughput @4096CL (MB/s)"},
+		Notes: []string{
+			"§4.2: halving the chunk overlaps the root's staging of the",
+			"second half with the children's pull of the first.",
+		},
+	}
+	tbl.AddRow("double buffer", fmt.Sprintf("%.2f", latD), fmt.Sprintf("%.2f", thD))
+	tbl.AddRow("single buffer", fmt.Sprintf("%.2f", latS), fmt.Sprintf("%.2f", thS))
+	return tbl
+}
+
+// AblationNotification compares the binary notification tree with naive
+// sequential notification by the parent (§4.1's design argument: "It can
+// be shown analytically that a binary tree provides the lowest
+// notification latency").
+func AblationNotification(cfg scc.Config, reps int) *Table {
+	tbl := &Table{
+		Title:   "Ablation — binary notification tree vs sequential notification",
+		Columns: []string{"k", "binary tree (µs)", "sequential (µs)"},
+		Notes:   []string{"1-CL broadcast latency on 48 cores, root 0."},
+	}
+	for _, k := range []int{7, 16, 24, 47} {
+		bin := occore.Config{K: k, BufLines: 96, DoubleBuffer: true}
+		seq := bin
+		seq.SequentialNotify = true
+		lb := MeanLatency(cfg, Alg{Name: "oc", OCConfig: &bin}, scc.NumCores, 1, reps)
+		ls := MeanLatency(cfg, Alg{Name: "oc", OCConfig: &seq}, scc.NumCores, 1, reps)
+		tbl.AddRow(fmt.Sprint(k), fmt.Sprintf("%.2f", lb), fmt.Sprintf("%.2f", ls))
+	}
+	return tbl
+}
+
+// KSweep sweeps the fan-out k, the paper's central tuning knob: small-
+// message latency (depth vs polling trade-off) and large-message
+// throughput (contention at high k).
+func KSweep(cfg scc.Config, reps int) *Table {
+	tbl := &Table{
+		Title:   "k sweep — OC-Bcast latency and throughput vs fan-out, P = 48",
+		Columns: []string{"k", "depth", "lat @1CL (µs)", "lat @96CL (µs)", "thr @4096CL (MB/s)"},
+		Notes: []string{
+			"Paper: k=7 is the latency/throughput sweet spot; k<=24 avoids",
+			"MPB contention; large k pays root-side polling at small sizes.",
+		},
+	}
+	for _, k := range []int{2, 3, 5, 7, 11, 16, 24, 32, 47} {
+		a := Alg{Name: "oc", K: k}
+		l1 := MeanLatency(cfg, a, scc.NumCores, 1, reps)
+		l96 := MeanLatency(cfg, a, scc.NumCores, 96, reps)
+		th := ThroughputMBps(4096, MeanLatency(cfg, a, scc.NumCores, 4096, 2))
+		tbl.AddRow(fmt.Sprint(k), fmt.Sprint(occore.TreeDepth(scc.NumCores, k)),
+			fmt.Sprintf("%.2f", l1), fmt.Sprintf("%.2f", l96), fmt.Sprintf("%.2f", th))
+	}
+	return tbl
+}
+
+// AblationNaive adds the linear baseline, quantifying what trees buy.
+func AblationNaive(cfg scc.Config, reps int) *Table {
+	tbl := &Table{
+		Title:   "Baseline ladder — 16-CL broadcast latency, P = 48",
+		Columns: []string{"algorithm", "latency (µs)"},
+	}
+	for _, a := range []Alg{
+		{Name: "naive"},
+		{Name: "binomial"},
+		{Name: "sag"},
+		{Name: "oc", K: 7},
+	} {
+		tbl.AddRow(a.Label(), fmt.Sprintf("%.2f", MeanLatency(cfg, a, scc.NumCores, 16, reps)))
+	}
+	return tbl
+}
+
+// AblationOneSided quantifies the two §5.4 improvements the paper
+// sketches but leaves out: the one-sided scatter-allgather and the
+// leaf-direct OC-Bcast variant.
+func AblationOneSided(cfg scc.Config, reps int) *Table {
+	tbl := &Table{
+		Title:   "§5.4 optimizations — one-sided s-ag and leaf-direct OC-Bcast",
+		Columns: []string{"algorithm", "thr @8192CL (MB/s)", "lat @96CL (µs)"},
+		Notes: []string{
+			"\"Adapting the two-sided scatter-allgather to use one-sided",
+			"primitives\" overlaps each ring exchange; \"a leaf does not need",
+			"to copy the data to its MPB\" removes one MPB pass per chunk.",
+		},
+	}
+	leafDirect := occore.DefaultConfig()
+	leafDirect.LeafDirect = true
+	for _, a := range []Alg{
+		{Name: "sag"},
+		{Name: "sag1s"},
+		{Name: "oc", K: 7},
+		{Name: "oc", OCConfig: &leafDirect},
+	} {
+		label := a.Label()
+		if a.OCConfig != nil {
+			label = "OC-Bcast k=7 leaf-direct"
+		}
+		const big = 8192
+		thr := ThroughputMBps(big, MeanLatency(cfg, a, scc.NumCores, big, 2))
+		lat := MeanLatency(cfg, a, scc.NumCores, 96, reps)
+		tbl.AddRow(label, fmt.Sprintf("%.2f", thr), fmt.Sprintf("%.2f", lat))
+	}
+	return tbl
+}

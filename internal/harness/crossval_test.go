@@ -1,0 +1,44 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/scc"
+)
+
+// TestModelSimulationCrossValidation mirrors the paper's §6.3 comparison:
+// the analytical model (which assumes distance-1 hops everywhere) should
+// track the simulated measurements closely, with the simulation somewhat
+// slower because real placements are farther than one hop. We accept
+// sim/model within [0.9, 1.8] for OC-Bcast across sizes and fan-outs in
+// the contention-safe regime.
+func TestModelSimulationCrossValidation(t *testing.T) {
+	cfg := scc.DefaultConfig()
+	mdl := model.New(cfg.Params)
+	bp := model.DefaultBcastParams()
+	for _, k := range []int{2, 7} {
+		for _, lines := range []int{1, 16, 96, 192} {
+			sim := MeanLatency(cfg, Alg{Name: "oc", K: k}, scc.NumCores, lines, 2)
+			pred := mdl.OCBcastLatency(bp, lines, k).Microseconds()
+			ratio := sim / pred
+			if ratio < 0.9 || ratio > 1.8 {
+				t.Errorf("k=%d m=%d: sim %.2fµs vs model %.2fµs (ratio %.2f outside [0.9,1.8])",
+					k, lines, sim, pred, ratio)
+			}
+		}
+	}
+}
+
+// TestModelSimulationThroughputCrossValidation: measured peak throughput
+// within 15% of Formula 15 for contention-safe k.
+func TestModelSimulationThroughputCrossValidation(t *testing.T) {
+	cfg := scc.DefaultConfig()
+	mdl := model.New(cfg.Params)
+	pred := model.LinesPerSecToMBps(mdl.OCBcastThroughput(model.DefaultBcastParams()))
+	const lines = 8192
+	meas := ThroughputMBps(lines, MeanLatency(cfg, Alg{Name: "oc", K: 7}, scc.NumCores, lines, 2))
+	if meas < 0.85*pred || meas > 1.05*pred {
+		t.Errorf("measured peak %.2f MB/s vs Formula 15's %.2f MB/s (outside [0.85,1.05])", meas, pred)
+	}
+}

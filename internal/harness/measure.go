@@ -1,0 +1,123 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/collective"
+	occore "repro/internal/core"
+	"repro/internal/rcce"
+	"repro/internal/rma"
+	"repro/internal/scc"
+	"repro/internal/sim"
+)
+
+// Alg identifies a broadcast implementation for measurement.
+type Alg struct {
+	Name string // "oc", "binomial", "sag", "naive"
+	K    int    // OC-Bcast fan-out (ignored by the baselines)
+	// OCConfig optionally overrides the full OC-Bcast configuration
+	// (ablations); when nil, K with the paper defaults is used.
+	OCConfig *occore.Config
+}
+
+// Label is a human-readable algorithm name.
+func (a Alg) Label() string {
+	if a.Name == "oc" {
+		return fmt.Sprintf("OC-Bcast k=%d", a.K)
+	}
+	return a.Name
+}
+
+// MeasureBcast runs `reps` broadcasts of `lines` cache lines from root 0
+// on n cores and returns the per-repetition latency in microseconds —
+// the paper's §6.1 methodology: repetitions are separated by barriers,
+// each repetition broadcasts from a fresh (uncached) payload offset, and
+// latency runs from the root's call to the last core's return.
+func MeasureBcast(cfg scc.Config, alg Alg, n, lines, reps int) []float64 {
+	if reps <= 0 {
+		reps = 5
+	}
+	chip := rma.NewChipN(cfg, n)
+
+	// Pre-stage every repetition's payload at a fresh offset.
+	msgBytes := lines * scc.CacheLine
+	payload := make([]byte, msgBytes)
+	for i := range payload {
+		payload[i] = byte(i*7 + 13)
+	}
+	for it := 0; it < reps; it++ {
+		chip.Private(0).Write(it*msgBytes, payload)
+	}
+
+	starts := make([]sim.Time, reps)
+	returns := make([][]sim.Time, reps)
+	for it := range returns {
+		returns[it] = make([]sim.Time, n)
+	}
+
+	chip.Run(func(c *rma.Core) {
+		port := rcce.NewPort(c)
+		var bcast func(addr int)
+		switch alg.Name {
+		case "oc":
+			occfg := occore.DefaultConfig()
+			if alg.OCConfig != nil {
+				occfg = *alg.OCConfig
+			} else {
+				occfg.K = alg.K
+			}
+			b := occore.NewBroadcaster(c, occfg)
+			bcast = func(addr int) { b.Bcast(0, addr, lines) }
+		case "binomial":
+			comm := collective.NewComm(port)
+			bcast = func(addr int) { comm.BcastBinomial(0, addr, lines) }
+		case "sag":
+			comm := collective.NewComm(port)
+			bcast = func(addr int) { comm.BcastScatterAllgather(0, addr, lines) }
+		case "sag1s":
+			comm := collective.NewComm(port)
+			bcast = func(addr int) { comm.BcastScatterAllgatherOneSided(0, addr, lines) }
+		case "naive":
+			comm := collective.NewComm(port)
+			bcast = func(addr int) { comm.BcastNaive(0, addr, lines) }
+		default:
+			panic(fmt.Sprintf("harness: unknown algorithm %q", alg.Name))
+		}
+		for it := 0; it < reps; it++ {
+			port.Barrier()
+			if c.ID() == 0 {
+				starts[it] = c.Now()
+			}
+			bcast(it * msgBytes)
+			returns[it][c.ID()] = c.Now()
+		}
+	})
+
+	out := make([]float64, reps)
+	for it := 0; it < reps; it++ {
+		last := starts[it]
+		for _, r := range returns[it] {
+			if r > last {
+				last = r
+			}
+		}
+		out[it] = (last - starts[it]).Microseconds()
+	}
+	return out
+}
+
+// MeanLatency averages MeasureBcast.
+func MeanLatency(cfg scc.Config, alg Alg, n, lines, reps int) float64 {
+	ls := MeasureBcast(cfg, alg, n, lines, reps)
+	var sum float64
+	for _, l := range ls {
+		sum += l
+	}
+	return sum / float64(len(ls))
+}
+
+// ThroughputMBps converts a broadcast of `lines` cache lines completing
+// in latencyUs microseconds to MB/s (10^6 bytes, as Table 2 uses).
+func ThroughputMBps(lines int, latencyUs float64) float64 {
+	return float64(lines*scc.CacheLine) / latencyUs
+}

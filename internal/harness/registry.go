@@ -1,0 +1,104 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/scc"
+)
+
+// Experiment is a named, runnable paper artifact.
+type Experiment struct {
+	Name string
+	Desc string
+	Run  func(cfg scc.Config, effort int) ([]*Table, error)
+}
+
+// Registry lists every reproducible artifact. effort scales repetition
+// counts (1 = quick, larger = more averaging).
+func Registry() []Experiment {
+	exps := []Experiment{
+		{
+			Name: "fig3", Desc: "put/get completion time vs distance (Figure 3)",
+			Run: func(cfg scc.Config, effort int) ([]*Table, error) {
+				return []*Table{Fig3(cfg)}, nil
+			},
+		},
+		{
+			Name: "table1", Desc: "model parameters via calibration fit (Table 1)",
+			Run: func(cfg scc.Config, effort int) ([]*Table, error) {
+				t, err := Table1(cfg)
+				if err != nil {
+					return nil, err
+				}
+				return []*Table{t}, nil
+			},
+		},
+		{
+			Name: "fig4", Desc: "MPB contention under concurrent access (Figure 4)",
+			Run: func(cfg scc.Config, effort int) ([]*Table, error) {
+				return []*Table{Fig4(cfg, 25*effort)}, nil
+			},
+		},
+		{
+			Name: "fig6", Desc: "modeled broadcast latency (Figure 6a/6b)",
+			Run: func(cfg scc.Config, effort int) ([]*Table, error) {
+				return []*Table{Fig6(cfg)}, nil
+			},
+		},
+		{
+			Name: "table2", Desc: "modeled peak throughput (Table 2)",
+			Run: func(cfg scc.Config, effort int) ([]*Table, error) {
+				return []*Table{Table2(cfg)}, nil
+			},
+		},
+		{
+			Name: "fig8a", Desc: "measured broadcast latency (Figure 8a)",
+			Run: func(cfg scc.Config, effort int) ([]*Table, error) {
+				return []*Table{Fig8a(cfg, 2*effort)}, nil
+			},
+		},
+		{
+			Name: "fig8b", Desc: "measured broadcast throughput (Figure 8b)",
+			Run: func(cfg scc.Config, effort int) ([]*Table, error) {
+				return []*Table{Fig8b(cfg, 1+effort)}, nil
+			},
+		},
+		{
+			Name: "mesh", Desc: "mesh link stress: no NoC contention (§3.3)",
+			Run: func(cfg scc.Config, effort int) ([]*Table, error) {
+				return []*Table{MeshStress(cfg, 10*effort)}, nil
+			},
+		},
+		{
+			Name: "headline", Desc: "§6.2 headline numbers: 27% latency, ~3x throughput",
+			Run: func(cfg scc.Config, effort int) ([]*Table, error) {
+				return []*Table{Headline(cfg, 2*effort)}, nil
+			},
+		},
+		{
+			Name: "ablation", Desc: "design ablations: buffering, notification, k sweep, baseline ladder",
+			Run: func(cfg scc.Config, effort int) ([]*Table, error) {
+				return []*Table{
+					AblationBuffering(cfg, effort),
+					AblationNotification(cfg, effort),
+					KSweep(cfg, effort),
+					AblationNaive(cfg, effort),
+					AblationOneSided(cfg, effort),
+				}, nil
+			},
+		},
+	}
+	sort.Slice(exps, func(i, j int) bool { return exps[i].Name < exps[j].Name })
+	return exps
+}
+
+// Lookup finds an experiment by name.
+func Lookup(name string) (Experiment, error) {
+	for _, e := range Registry() {
+		if e.Name == name {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("harness: unknown experiment %q", name)
+}

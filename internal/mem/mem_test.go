@@ -1,0 +1,230 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/scc"
+	"repro/internal/sim"
+)
+
+func newTestMPB() (*sim.Engine, *MPB) {
+	e := sim.NewEngine(1)
+	m := NewMPB(e, 0, sim.Micros(0.0065))
+	return e, m
+}
+
+func lineOf(b byte) []byte {
+	l := make([]byte, scc.CacheLine)
+	for i := range l {
+		l[i] = b
+	}
+	return l
+}
+
+func TestMPBWriteReadVisibility(t *testing.T) {
+	_, m := newTestMPB()
+	m.WriteLine(3, lineOf(0xAA), 100*sim.Nanosecond)
+
+	// Before the effective time the line reads as zero.
+	if got := m.ReadLine(3, 50*sim.Nanosecond); !bytes.Equal(got, lineOf(0)) {
+		t.Fatalf("early read saw the write: %x", got[:4])
+	}
+	// At/after the effective time the line is visible.
+	if got := m.ReadLine(3, 100*sim.Nanosecond); !bytes.Equal(got, lineOf(0xAA)) {
+		t.Fatalf("read at eff time = %x, want AA..", got[:4])
+	}
+}
+
+func TestMPBMultiplePendingWritesOrdered(t *testing.T) {
+	_, m := newTestMPB()
+	m.WriteLine(0, lineOf(1), 10*sim.Nanosecond)
+	m.WriteLine(0, lineOf(2), 20*sim.Nanosecond)
+	m.WriteLine(0, lineOf(3), 30*sim.Nanosecond)
+	if got := m.ReadLine(0, 25*sim.Nanosecond)[0]; got != 2 {
+		t.Fatalf("read at t=25 = %d, want 2", got)
+	}
+	if got := m.ReadLine(0, 35*sim.Nanosecond)[0]; got != 3 {
+		t.Fatalf("read at t=35 = %d, want 3", got)
+	}
+}
+
+func TestMPBPeekU64(t *testing.T) {
+	_, m := newTestMPB()
+	line := make([]byte, scc.CacheLine)
+	line[0] = 0x34
+	line[1] = 0x12
+	m.WriteLine(5, line, 0)
+	if got := m.PeekU64(5, 0); got != 0x1234 {
+		t.Fatalf("PeekU64 = %#x, want 0x1234", got)
+	}
+}
+
+func TestMPBLineBounds(t *testing.T) {
+	_, m := newTestMPB()
+	for _, bad := range []int{-1, scc.MPBLinesPerCore} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("line %d did not panic", bad)
+				}
+			}()
+			m.ReadLine(bad, 0)
+		}()
+	}
+	if m.Lines() != scc.MPBLinesPerCore || m.Owner() != 0 {
+		t.Fatal("Lines/Owner broken")
+	}
+}
+
+// TestWaitU64WakesAtEffectiveTime exercises the flag-wait primitive:
+// a waiter must resume exactly at the satisfying write's effective time,
+// not at the writer's completion time or the waiter's block time.
+func TestWaitU64WakesAtEffectiveTime(t *testing.T) {
+	e := sim.NewEngine(2)
+	m := NewMPB(e, 0, sim.Micros(0.0065))
+	var wokeAt sim.Time
+	e.Run(func(p *sim.Proc) {
+		switch p.ID() {
+		case 0:
+			m.WaitU64(p, 9, func(v uint64) bool { return v >= 7 })
+			wokeAt = p.Now()
+		case 1:
+			p.Advance(2 * sim.Microsecond)
+			// Write seq=7 landing at t=3µs.
+			line := make([]byte, scc.CacheLine)
+			line[0] = 7
+			m.WriteLine(9, line, 3*sim.Microsecond)
+			p.Advance(5 * sim.Microsecond)
+		}
+	})
+	if wokeAt != 3*sim.Microsecond {
+		t.Fatalf("waiter woke at %v, want 3µs", wokeAt)
+	}
+}
+
+// TestWaitU64AlreadySatisfiedButPending: a wait issued before a pending
+// write's effective time must still wake at that effective time.
+func TestWaitU64AlreadySatisfiedButPending(t *testing.T) {
+	e := sim.NewEngine(1)
+	m := NewMPB(e, 0, sim.Micros(0.0065))
+	line := make([]byte, scc.CacheLine)
+	line[0] = 1
+	m.WriteLine(0, line, 10*sim.Microsecond) // pending, lands at 10µs
+	var wokeAt sim.Time
+	e.Run(func(p *sim.Proc) {
+		m.WaitU64(p, 0, func(v uint64) bool { return v >= 1 })
+		wokeAt = p.Now()
+	})
+	if wokeAt != 10*sim.Microsecond {
+		t.Fatalf("waiter woke at %v, want 10µs", wokeAt)
+	}
+}
+
+func TestWaitU64SkipsNonSatisfyingWrites(t *testing.T) {
+	e := sim.NewEngine(2)
+	m := NewMPB(e, 0, sim.Micros(0.0065))
+	var wokeAt sim.Time
+	e.Run(func(p *sim.Proc) {
+		switch p.ID() {
+		case 0:
+			m.WaitU64(p, 0, func(v uint64) bool { return v >= 3 })
+			wokeAt = p.Now()
+		case 1:
+			for seq := byte(1); seq <= 3; seq++ {
+				line := make([]byte, scc.CacheLine)
+				line[0] = seq
+				m.WriteLine(0, line, sim.Time(seq)*sim.Microsecond)
+				p.Advance(sim.Microsecond)
+			}
+		}
+	})
+	if wokeAt != 3*sim.Microsecond {
+		t.Fatalf("waiter woke at %v, want 3µs (the seq>=3 write)", wokeAt)
+	}
+}
+
+func TestPrivateReadWrite(t *testing.T) {
+	p := NewPrivate(4)
+	if p.Owner() != 4 {
+		t.Fatal("owner")
+	}
+	// Unwritten memory reads as zero.
+	buf := make([]byte, 64)
+	for i := range buf {
+		buf[i] = 0xFF
+	}
+	p.Read(buf, 1024, 64)
+	for i, b := range buf {
+		if b != 0 {
+			t.Fatalf("unwritten byte %d = %#x, want 0", i, b)
+		}
+	}
+	// Round trip across a page boundary.
+	data := make([]byte, 3000)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	addr := pageBytes - 1500
+	p.Write(addr, data)
+	got := make([]byte, len(data))
+	p.Read(got, addr, len(got))
+	if !bytes.Equal(got, data) {
+		t.Fatal("page-boundary round trip failed")
+	}
+}
+
+func TestPrivateRoundTripProperty(t *testing.T) {
+	f := func(addr16 uint16, data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		p := NewPrivate(0)
+		addr := int(addr16)
+		p.Write(addr, data)
+		got := make([]byte, len(data))
+		p.Read(got, addr, len(got))
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheModel(t *testing.T) {
+	c := NewCache(true)
+	if c.Hit(1000) {
+		t.Fatal("cold cache hit")
+	}
+	if !c.Hit(1000) {
+		t.Fatal("second access missed")
+	}
+	// Same line, different byte offset: hit.
+	if !c.Hit(1001) {
+		t.Fatal("same-line access missed")
+	}
+	// Touch populates.
+	c.Touch(64 * scc.CacheLine)
+	if !c.Hit(64 * scc.CacheLine) {
+		t.Fatal("touched line missed")
+	}
+	if c.Len() == 0 {
+		t.Fatal("cache empty after touches")
+	}
+	c.Flush()
+	if c.Len() != 0 || c.Hit(1000) {
+		t.Fatal("flush did not empty the cache")
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := NewCache(false)
+	c.Touch(0)
+	if c.Hit(0) || c.Hit(0) {
+		t.Fatal("disabled cache must always miss")
+	}
+	if c.Len() != 0 {
+		t.Fatal("disabled cache stored lines")
+	}
+}

@@ -1,0 +1,229 @@
+// Package mem implements the SCC's storage components as seen by the
+// simulator: per-core Message Passing Buffers (MPB) with cache-line
+// atomicity and a FIFO port contention model, per-core private off-chip
+// memory, and a simple L1-style cache model for private-memory reads.
+//
+// Writes carry an effective virtual timestamp: a read at time t observes
+// exactly the writes whose effective time is ≤ t. Because the engine
+// executes operations in nondecreasing global time order, pending writes
+// can be folded into the backing store lazily.
+package mem
+
+import (
+	"fmt"
+
+	"repro/internal/scc"
+	"repro/internal/sim"
+)
+
+// MPB is one core's 8 KB message-passing buffer. All accesses are at
+// cache-line granularity; the SCC guarantees read/write atomicity per
+// 32 B line (paper §5.1), which the simulator enforces structurally by
+// only moving whole lines.
+type MPB struct {
+	owner int // core id
+	eng   *sim.Engine
+	data  []byte
+
+	// pending holds not-yet-visible writes per line, ordered by
+	// effective time (writes are issued in nondecreasing time order).
+	pending map[int][]pendingWrite
+
+	// Port is the FIFO server modelling the MPB's access port, the
+	// contention point measured in Figure 4.
+	Port *sim.Resource
+
+	// lastAccess tracks when each remote core last touched this MPB's
+	// port, for the active-accessor count that drives the §3.3
+	// beyond-the-knee contention penalty.
+	lastAccess map[int]sim.Time
+	// accessLog keeps each core's access timestamps within the trailing
+	// window, to measure how *sustained* its pressure on the port is.
+	accessLog map[int][]sim.Time
+}
+
+type pendingWrite struct {
+	eff  sim.Time
+	data [scc.CacheLine]byte
+}
+
+// NewMPB creates core owner's MPB backed by engine e.
+func NewMPB(e *sim.Engine, owner int, readSvc sim.Duration) *MPB {
+	return &MPB{
+		owner:      owner,
+		eng:        e,
+		data:       make([]byte, scc.MPBBytesPerCore),
+		pending:    make(map[int][]pendingWrite),
+		Port:       sim.NewResource(fmt.Sprintf("mpb[%d]", owner), readSvc),
+		lastAccess: make(map[int]sim.Time),
+		accessLog:  make(map[int][]sim.Time),
+	}
+}
+
+// NoteAccess records that core touched this MPB's port at time t and
+// returns how many times it did so within the trailing window (including
+// this access) — the sustained-pressure measure behind the contention
+// penalty: a single burst (one OC-Bcast chunk) is not sustained; Figure
+// 4's back-to-back loops are.
+func (m *MPB) NoteAccess(core int, t sim.Time, window sim.Duration) int {
+	m.lastAccess[core] = t
+	log := m.accessLog[core]
+	i := 0
+	for i < len(log) && log[i]+window < t {
+		i++
+	}
+	log = append(log[i:], t)
+	m.accessLog[core] = log
+	return len(log)
+}
+
+// ActiveAccessors counts distinct cores that touched the port within the
+// trailing window — the concurrency measure behind the paper's ~24-core
+// contention knee.
+func (m *MPB) ActiveAccessors(t sim.Time, window sim.Duration) int {
+	n := 0
+	for core, last := range m.lastAccess {
+		if last+window >= t {
+			n++
+		} else {
+			delete(m.lastAccess, core)
+		}
+	}
+	return n
+}
+
+// Owner reports the core id owning this MPB.
+func (m *MPB) Owner() int { return m.owner }
+
+// Lines reports the MPB capacity in cache lines.
+func (m *MPB) Lines() int { return scc.MPBLinesPerCore }
+
+// watchKey returns the engine watch key for a line of this MPB.
+func (m *MPB) watchKey(line int) sim.WatchKey {
+	return sim.WatchKey{Space: m.owner, Line: line}
+}
+
+func (m *MPB) checkLine(line int) {
+	if line < 0 || line >= scc.MPBLinesPerCore {
+		panic(fmt.Sprintf("mem: MPB[%d] line %d out of range [0,%d)", m.owner, line, scc.MPBLinesPerCore))
+	}
+}
+
+// settle folds pending writes with effective time ≤ t into the backing
+// store for the given line.
+func (m *MPB) settle(line int, t sim.Time) {
+	pw := m.pending[line]
+	i := 0
+	for i < len(pw) && pw[i].eff <= t {
+		copy(m.data[line*scc.CacheLine:], pw[i].data[:])
+		i++
+	}
+	if i == 0 {
+		return
+	}
+	if i == len(pw) {
+		delete(m.pending, line)
+	} else {
+		m.pending[line] = pw[i:]
+	}
+}
+
+// ReadLine returns the 32-byte content of a line as visible at time t.
+// The returned slice is a copy.
+func (m *MPB) ReadLine(line int, t sim.Time) []byte {
+	m.checkLine(line)
+	m.settle(line, t)
+	out := make([]byte, scc.CacheLine)
+	copy(out, m.data[line*scc.CacheLine:])
+	return out
+}
+
+// ReadInto copies the line visible at time t into dst (≥32 bytes).
+func (m *MPB) ReadInto(dst []byte, line int, t sim.Time) {
+	m.checkLine(line)
+	m.settle(line, t)
+	copy(dst[:scc.CacheLine], m.data[line*scc.CacheLine:])
+}
+
+// WriteLine stores 32 bytes into a line with effective time eff and
+// signals any process blocked on that line. src must hold ≥32 bytes.
+func (m *MPB) WriteLine(line int, src []byte, eff sim.Time) {
+	m.checkLine(line)
+	var pw pendingWrite
+	pw.eff = eff
+	copy(pw.data[:], src[:scc.CacheLine])
+	m.pending[line] = append(m.pending[line], pw)
+	m.eng.Signal(m.watchKey(line), eff)
+}
+
+// PeekU64 reads the first 8 bytes of a line as a little-endian uint64 as
+// visible at time t, without copying the whole line. Used by flag polls.
+func (m *MPB) PeekU64(line int, t sim.Time) uint64 {
+	m.checkLine(line)
+	m.settle(line, t)
+	off := line * scc.CacheLine
+	var v uint64
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | uint64(m.data[off+i])
+	}
+	return v
+}
+
+// peekU64At evaluates what PeekU64 would return at time t WITHOUT
+// settling state — used inside wait predicates, which may be evaluated
+// while earlier-time reads are still possible. It scans pending writes.
+func (m *MPB) peekU64At(line int, t sim.Time) uint64 {
+	off := line * scc.CacheLine
+	buf := make([]byte, 8)
+	copy(buf, m.data[off:off+8])
+	for _, pw := range m.pending[line] {
+		if pw.eff <= t {
+			copy(buf, pw.data[:8])
+		}
+	}
+	var v uint64
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | uint64(buf[i])
+	}
+	return v
+}
+
+// satisfiedAt returns the earliest time ≥ now at which pred holds for the
+// line's leading uint64, considering the settled state and pending writes
+// in effective-time order. ok is false if no current or pending state
+// satisfies pred.
+func (m *MPB) satisfiedAt(line int, now sim.Time, pred func(uint64) bool) (sim.Time, bool) {
+	if pred(m.peekU64At(line, now)) {
+		return now, true
+	}
+	for _, pw := range m.pending[line] {
+		if pw.eff <= now {
+			continue // already folded into peekU64At(now)
+		}
+		if pred(m.peekU64At(line, pw.eff)) {
+			return pw.eff, true
+		}
+	}
+	return 0, false
+}
+
+// WaitU64 blocks process p until pred holds for the line's leading uint64,
+// and returns with p's clock at (no earlier than) the effective time of
+// the write that satisfied it. It is the simulator's flag-poll primitive:
+// the process sleeps instead of burning virtual time spinning — matching
+// the paper's assumption that no time elapses between a flag being set
+// and observed, up to the final poll read the caller charges separately.
+func (m *MPB) WaitU64(p *sim.Proc, line int, pred func(uint64) bool) {
+	m.checkLine(line)
+	key := m.watchKey(line)
+	for {
+		if te, ok := m.satisfiedAt(line, p.Now(), pred); ok {
+			p.AdvanceTo(te)
+			return
+		}
+		p.Block(key, func() bool {
+			_, ok := m.satisfiedAt(line, p.Now(), pred)
+			return ok
+		})
+	}
+}

@@ -1,0 +1,175 @@
+package model
+
+import (
+	"repro/internal/core"
+	"repro/internal/scc"
+	"repro/internal/sim"
+)
+
+// BcastParams configure the broadcast-level model as §5.1 does: average
+// distance 1 for both MPB and memory accesses, Moc = 96-line OC-Bcast
+// chunks, Mrcce = 251-line RCCE chunks.
+type BcastParams struct {
+	P     int // number of cores
+	DMpb  int // average MPB hop distance (paper: 1)
+	DMem  int // average memory-controller distance (paper: 1)
+	Moc   int // OC-Bcast chunk size in lines (paper: 96)
+	Mrcce int // RCCE payload buffer in lines (paper: 251)
+
+	// Notification models whether flag-propagation and polling costs
+	// are included. The paper's simplified Formulas 13–16 omit them,
+	// but its Figure 6b discussion relies on them (k = 47's polling
+	// penalty); the complete formulas live in the paper's full version,
+	// so this reconstruction is what regenerates Figure 6's curves.
+	Notification bool
+}
+
+// DefaultBcastParams matches §5.1.
+func DefaultBcastParams() BcastParams {
+	return BcastParams{P: scc.NumCores, DMpb: 1, DMem: 1, Moc: 96, Mrcce: 251, Notification: true}
+}
+
+// flagSet is the cost of setting a remote flag: a 1-line put with a
+// register source (no read leg).
+func (m Model) flagSet(d int) sim.Duration { return m.P.OMpbPut + m.CMpbW(d) }
+
+// flagPoll is the cost of the final successful poll of a local flag.
+func (m Model) flagPoll() sim.Duration { return m.CMpbR(1) }
+
+// notifyDepth is the number of sequential flag sets before the j-th child
+// (0-based) of a sibling group hears about a chunk through the binary
+// notification tree: the parent sets children 0 and 1, child j sets 2j+2
+// and 2j+3 (paper Figure 5). Equivalently floor(log2(j+2)).
+func notifyDepth(j int) int {
+	d := 0
+	for n := j + 2; n > 1; n >>= 1 {
+		d++
+	}
+	return d
+}
+
+// lastNotifyDepth is the worst-case notification depth within a sibling
+// group of g children.
+func lastNotifyDepth(g int) int {
+	if g <= 0 {
+		return 0
+	}
+	return notifyDepth(g - 1)
+}
+
+// OCBcastLatency predicts the OC-Bcast latency for a message of n cache
+// lines with fan-out k (Formula 13, extended with chunk pipelining for
+// n > Moc and — when bp.Notification — notification/polling costs).
+func (m Model) OCBcastLatency(bp BcastParams, n, k int) sim.Duration {
+	if bp.P == 1 || n <= 0 {
+		return 0
+	}
+	depth := core.TreeDepth(bp.P, k)
+	nchunks := (n + bp.Moc - 1) / bp.Moc
+	first := n
+	if first > bp.Moc {
+		first = bp.Moc
+	}
+
+	// Critical path of the first chunk (Formula 13): root's mem->MPB
+	// put, one MPB->MPB get per tree level, and the final MPB->mem get.
+	lat := m.CMemPut(first, bp.DMem, 1) // root stages chunk in own MPB
+	perLevelNotify := sim.Duration(0)
+	if bp.Notification {
+		perLevelNotify = sim.Duration(lastNotifyDepth(min(k, bp.P-1))) * m.flagSet(bp.DMpb)
+		perLevelNotify += m.flagPoll()
+	}
+	lat += sim.Duration(depth) * (perLevelNotify + m.CMpbGet(first, bp.DMpb))
+	lat += m.CMemGet(first, bp.DMpb, bp.DMem)
+
+	// Subsequent chunks drip out of the double-buffered pipeline every
+	// per-node step (Formula 15's denominator).
+	if nchunks > 1 {
+		step := m.CMpbGet(bp.Moc, bp.DMpb) + m.CMemGet(bp.Moc, bp.DMpb, bp.DMem)
+		lat += sim.Duration(nchunks-1) * step
+	}
+
+	// The root cannot return before polling its k done flags (§5.2.3's
+	// k = 47 penalty). The last done flag arrives roughly after the
+	// first level's get; root polls k flags after that.
+	if bp.Notification {
+		rootReturn := m.CMemPut(first, bp.DMem, 1) +
+			perLevelNotify + m.CMpbGet(first, bp.DMpb) + // level-1 children consume
+			sim.Duration(nchunks-1)*(m.CMpbGet(bp.Moc, bp.DMpb)+m.CMemGet(bp.Moc, bp.DMpb, bp.DMem)) +
+			m.flagSet(bp.DMpb) + // child's done-flag set
+			sim.Duration(min(k, bp.P-1))*m.flagPoll() // root polls k flags
+		if rootReturn > lat {
+			lat = rootReturn
+		}
+	}
+	return lat
+}
+
+// BinomialLatency predicts the RCCE_comm binomial-tree broadcast latency
+// (Formula 14): ceil(log2 P) levels, each a full-message send/receive,
+// with the sender's source reads served from L1 (zero cost) because it
+// just received the message.
+func (m Model) BinomialLatency(bp BcastParams, n int) sim.Duration {
+	if bp.P == 1 || n <= 0 {
+		return 0
+	}
+	levels := ceilLog2(bp.P)
+	nchunks := (n + bp.Mrcce - 1) / bp.Mrcce
+
+	// Root's first staging reads the payload from off-chip memory once.
+	lat := sim.Duration(n) * m.CMemR(bp.DMem)
+	// Per level: stage m lines into own MPB (L1-hot source) and the
+	// receiver's get to private memory.
+	perLevel := m.P.OMemPut + sim.Duration(n)*m.CMpbW(1) +
+		m.P.OMemGet + sim.Duration(n)*m.CMpbR(bp.DMpb) + sim.Duration(n)*m.CMemW(bp.DMem)
+	if bp.Notification {
+		// Two flag handshakes per chunk per level (sent + ready).
+		perLevel += sim.Duration(nchunks) * (2*m.flagSet(bp.DMpb) + 2*m.flagPoll())
+	}
+	lat += sim.Duration(levels) * perLevel
+	return lat
+}
+
+// OCBcastThroughput is Formula 15: the pipelined peak throughput in cache
+// lines per second, limited by the slowest per-node step; independent of
+// k for pipeline-filling messages.
+func (m Model) OCBcastThroughput(bp BcastParams) float64 {
+	step := m.CMpbGet(bp.Moc, bp.DMpb) + m.CMemGet(bp.Moc, bp.DMpb, bp.DMem)
+	return float64(bp.Moc) / step.Microseconds() * 1e6
+}
+
+// SAGThroughput is Formula 16: scatter-allgather throughput in cache
+// lines per second for a message of P·Moc lines. The scatter phase costs
+// (P−1) root send/receives; the allgather's 2(P−2) transfers benefit from
+// L1-resident resends (the paper's cache-aware refinement, giving the
+// (2P−3)(Moc·Cmpb_w + Cmem_get) term).
+func (m Model) SAGThroughput(bp BcastParams) float64 {
+	p := bp.P
+	moc := bp.Moc
+	total := float64(p * moc)
+	denom := sim.Duration(p)*(m.CMemPut(moc, bp.DMem, 1)+m.CMemGet(moc, bp.DMpb, bp.DMem)) +
+		sim.Duration(2*p-3)*(sim.Duration(moc)*m.CMpbW(1)+m.CMemGet(moc, bp.DMpb, bp.DMem))
+	return total / denom.Microseconds() * 1e6
+}
+
+// LinesPerSecToMBps converts cache lines per second to MB/s (1 MB = 10^6
+// bytes, as the paper's Table 2 uses).
+func LinesPerSecToMBps(lps float64) float64 {
+	return lps * float64(scc.CacheLine) / 1e6
+}
+
+func ceilLog2(p int) int {
+	l, v := 0, 1
+	for v < p {
+		v <<= 1
+		l++
+	}
+	return l
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,163 @@
+package model
+
+import (
+	"testing"
+
+	"repro/internal/scc"
+	"repro/internal/sim"
+)
+
+func table1Model() Model { return New(scc.Table1()) }
+
+func TestPerLineFormulas(t *testing.T) {
+	m := table1Model()
+	// Hand-computed from Table 1: ompb=0.126, Lhop=0.005.
+	if got := m.CMpbR(4); got != sim.Micros(0.126+8*0.005) {
+		t.Fatalf("CMpbR(4) = %v, want 0.166µs", got)
+	}
+	if got := m.LMpbW(4); got != sim.Micros(0.126+4*0.005) {
+		t.Fatalf("LMpbW(4) = %v, want 0.146µs", got)
+	}
+	if got := m.CMemW(2); got != sim.Micros(0.461+4*0.005) {
+		t.Fatalf("CMemW(2) = %v, want 0.481µs", got)
+	}
+	if got := m.CMemR(1); got != sim.Micros(0.208+2*0.005) {
+		t.Fatalf("CMemR(1) = %v, want 0.218µs", got)
+	}
+}
+
+func TestOperationFormulas(t *testing.T) {
+	m := table1Model()
+	// Formula 7 with n=4, d=3:
+	want := sim.Micros(0.069) + 4*m.CMpbR(1) + 4*m.CMpbW(3)
+	if got := m.CMpbPut(4, 3); got != want {
+		t.Fatalf("CMpbPut(4,3) = %v, want %v", got, want)
+	}
+	// Latency excludes the last ack leg: C - d·Lhop (Formulas 9/2/1).
+	if got := m.LMpbPut(4, 3); got != want-sim.Micros(3*0.005) {
+		t.Fatalf("LMpbPut(4,3) = %v, want %v", got, want-sim.Micros(0.015))
+	}
+	// Formula 11 with n=16, d=1 — the §5.3 throughput denominator term.
+	wantGet := sim.Micros(0.33) + 16*m.CMpbR(1) + 16*m.CMpbW(1)
+	if got := m.CMpbGet(16, 1); got != wantGet {
+		t.Fatalf("CMpbGet(16,1) = %v, want %v", got, wantGet)
+	}
+	// Formula 12.
+	wantMemGet := sim.Micros(0.095) + 8*m.CMpbR(2) + 8*m.CMemW(1)
+	if got := m.CMemGet(8, 2, 1); got != wantMemGet {
+		t.Fatalf("CMemGet(8,2,1) = %v, want %v", got, wantMemGet)
+	}
+}
+
+// TestTable2Throughput reproduces the paper's Table 2: OC-Bcast ≈
+// 34–36 MB/s (k-independent), scatter-allgather ≈ 13.4 MB/s, i.e. an
+// almost threefold advantage.
+func TestTable2Throughput(t *testing.T) {
+	m := table1Model()
+	bp := DefaultBcastParams()
+	oc := LinesPerSecToMBps(m.OCBcastThroughput(bp))
+	sag := LinesPerSecToMBps(m.SAGThroughput(bp))
+	if oc < 33 || oc > 38 {
+		t.Errorf("OC-Bcast modeled throughput = %.2f MB/s, paper Table 2 ≈ 34.3–35.9", oc)
+	}
+	if sag < 12 || sag > 15 {
+		t.Errorf("scatter-allgather modeled throughput = %.2f MB/s, paper Table 2 = 13.38", sag)
+	}
+	ratio := oc / sag
+	if ratio < 2.4 || ratio > 3.2 {
+		t.Errorf("throughput ratio = %.2fx, paper: almost 3x", ratio)
+	}
+}
+
+// TestFigure6Shape checks the qualitative properties of Figure 6:
+// OC-Bcast beats binomial at every size; the gap grows with message
+// size; k=7 beats k=2; k=47 is worst for tiny messages (polling cost)
+// but best at the 96–192-line range (depth 1).
+func TestFigure6Shape(t *testing.T) {
+	m := table1Model()
+	bp := DefaultBcastParams()
+	for _, n := range []int{1, 8, 32, 96, 160, 192} {
+		bin := m.BinomialLatency(bp, n)
+		for _, k := range []int{2, 7, 47} {
+			oc := m.OCBcastLatency(bp, n, k)
+			if oc >= bin {
+				t.Errorf("n=%d k=%d: OC %v not below binomial %v", n, k, oc, bin)
+			}
+		}
+	}
+	// Gap grows with size (compare relative gap at 1 vs 192 lines).
+	gap := func(n int) float64 {
+		bin := m.BinomialLatency(bp, n)
+		oc := m.OCBcastLatency(bp, n, 7)
+		return float64(bin-oc) / float64(bin)
+	}
+	if gap(192) <= gap(1) {
+		t.Errorf("OC advantage should grow with size: gap(1)=%.2f gap(192)=%.2f", gap(1), gap(192))
+	}
+	// k=7 < k=2 at 96 lines (depth 2 vs 5).
+	if m.OCBcastLatency(bp, 96, 7) >= m.OCBcastLatency(bp, 96, 2) {
+		t.Error("k=7 should beat k=2 at 96 lines")
+	}
+	// k=47 worst for 1 line (root polls 47 flags).
+	l47, l7, l2 := m.OCBcastLatency(bp, 1, 47), m.OCBcastLatency(bp, 1, 7), m.OCBcastLatency(bp, 1, 2)
+	if l47 <= l7 || l47 <= l2 {
+		t.Errorf("k=47 must be slowest at 1 line: k47=%v k7=%v k2=%v", l47, l7, l2)
+	}
+	// k=47 best at 96 lines in the pure model (Fig. 6a: model predicts
+	// a visible gap that the experiment then erases via contention).
+	if m.OCBcastLatency(bp, 96, 47) >= m.OCBcastLatency(bp, 96, 7) {
+		t.Error("model should favor k=47 at 96 lines (depth 1 vs 2)")
+	}
+}
+
+// TestSlopeChangesAtMoc: Figure 6a notes the latency slope changes past
+// Moc = 96 lines (second chunk enters the pipeline).
+func TestSlopeChangesAtMoc(t *testing.T) {
+	m := table1Model()
+	bp := DefaultBcastParams()
+	// Marginal cost per line below vs above the chunk boundary.
+	below := m.OCBcastLatency(bp, 96, 7) - m.OCBcastLatency(bp, 95, 7)
+	above := m.OCBcastLatency(bp, 98, 7) - m.OCBcastLatency(bp, 97, 7)
+	if above >= below {
+		t.Errorf("slope above Moc (%v/line) should be below the pre-Moc slope (%v/line): pipelining absorbs deeper levels", above, below)
+	}
+}
+
+func TestNotifyDepth(t *testing.T) {
+	// Children 0,1 hear in one flag set; 2..5 in two; 6..13 in three
+	// (Figure 5's binary notification tree).
+	wants := map[int]int{0: 1, 1: 1, 2: 2, 3: 2, 4: 2, 5: 2, 6: 3, 13: 3, 14: 4}
+	for j, want := range wants {
+		if got := notifyDepth(j); got != want {
+			t.Errorf("notifyDepth(%d) = %d, want %d", j, got, want)
+		}
+	}
+	if lastNotifyDepth(7) != 3 { // k=7: last child heard after 3 sets
+		t.Errorf("lastNotifyDepth(7) = %d, want 3", lastNotifyDepth(7))
+	}
+	if lastNotifyDepth(0) != 0 {
+		t.Errorf("lastNotifyDepth(0) = %d, want 0", lastNotifyDepth(0))
+	}
+}
+
+func TestCeilLog2(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 48: 6, 64: 6}
+	for p, want := range cases {
+		if got := ceilLog2(p); got != want {
+			t.Errorf("ceilLog2(%d) = %d, want %d", p, got, want)
+		}
+	}
+}
+
+func TestDegenerateInputs(t *testing.T) {
+	m := table1Model()
+	bp := DefaultBcastParams()
+	bp.P = 1
+	if m.OCBcastLatency(bp, 10, 7) != 0 || m.BinomialLatency(bp, 10) != 0 {
+		t.Error("single-core broadcast should cost 0")
+	}
+	bp = DefaultBcastParams()
+	if m.OCBcastLatency(bp, 0, 7) != 0 {
+		t.Error("empty message should cost 0")
+	}
+}

@@ -1,0 +1,62 @@
+package noc
+
+import (
+	"testing"
+
+	"repro/internal/scc"
+	"repro/internal/sim"
+)
+
+func TestTraverseIdleMeshPipelining(t *testing.T) {
+	m := NewMesh(2 * sim.Nanosecond)
+	src, dst := scc.Coord{X: 0, Y: 0}, scc.Coord{X: 3, Y: 0} // 3 links
+	// Virtual cut-through: h + n - 1 link-service times.
+	got := m.Traverse(0, src, dst, 5)
+	want := sim.Time((3 + 5 - 1) * 2 * int(sim.Nanosecond))
+	if got != want {
+		t.Fatalf("idle traverse finish = %v, want %v", got, want)
+	}
+}
+
+func TestTraverseZeroPacketsAndSameTile(t *testing.T) {
+	m := NewMesh(2 * sim.Nanosecond)
+	if got := m.Traverse(7, scc.Coord{X: 1, Y: 1}, scc.Coord{X: 2, Y: 1}, 0); got != 7 {
+		t.Fatalf("zero packets cost %v, want 7 (no-op)", got)
+	}
+	if got := m.Traverse(7, scc.Coord{X: 1, Y: 1}, scc.Coord{X: 1, Y: 1}, 4); got != 7 {
+		t.Fatalf("same-tile transfer cost %v, want 7 (local router only)", got)
+	}
+}
+
+func TestTraverseSharedLinkQueues(t *testing.T) {
+	m := NewMesh(2 * sim.Nanosecond)
+	// Two simultaneous transfers share the (2,0)->(3,0) link.
+	a := m.Traverse(0, scc.Coord{X: 2, Y: 0}, scc.Coord{X: 3, Y: 0}, 10)
+	b := m.Traverse(0, scc.Coord{X: 2, Y: 0}, scc.Coord{X: 3, Y: 0}, 10)
+	if b <= a {
+		t.Fatalf("second transfer (%v) must queue behind the first (%v)", b, a)
+	}
+	stats := m.LinkQueueStats()
+	if len(stats) != 1 {
+		t.Fatalf("expected 1 used link, got %d", len(stats))
+	}
+	if stats[0].Packets != 20 || stats[0].Queued == 0 {
+		t.Fatalf("link stats wrong: %+v", stats[0])
+	}
+	m.Reset()
+	for _, s := range m.LinkQueueStats() {
+		if s.Packets != 0 {
+			t.Fatalf("reset did not clear link %v", s.Link)
+		}
+	}
+}
+
+func TestDisjointPathsDoNotInterfere(t *testing.T) {
+	m := NewMesh(2 * sim.Nanosecond)
+	a := m.Traverse(0, scc.Coord{X: 0, Y: 0}, scc.Coord{X: 2, Y: 0}, 8)
+	// Different row: no shared links under X-Y routing.
+	b := m.Traverse(0, scc.Coord{X: 0, Y: 3}, scc.Coord{X: 2, Y: 3}, 8)
+	if a != b {
+		t.Fatalf("disjoint transfers differ: %v vs %v", a, b)
+	}
+}

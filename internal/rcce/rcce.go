@@ -1,0 +1,232 @@
+// Package rcce reimplements the communication layer the paper's baselines
+// are built on: the RCCE library's one-sided-backed *two-sided* send/recv
+// (van der Wijngaart et al., 2011) plus a barrier. RCCE pipelines a
+// message through the sender's MPB in chunks of at most 251 cache lines
+// (the paper's Mrcce), with a fully synchronous per-chunk handshake — the
+// very structure whose off-chip traffic OC-Bcast eliminates.
+package rcce
+
+import (
+	"fmt"
+
+	"repro/internal/rma"
+	"repro/internal/scc"
+)
+
+// MPB line layout used by the RCCE layer (per core).
+const (
+	// PayloadLines is Mrcce: the send/recv staging buffer, lines 0..250.
+	PayloadLines = 251
+	// Barrier tree flag lines.
+	lineBarrierChildA  = 251 // set by left child on arrival
+	lineBarrierChildB  = 252 // set by right child on arrival
+	lineBarrierRelease = 253 // set by parent on release
+	// Two-sided handshake flag lines.
+	lineReady = 254 // written by my current receiver: chunk consumed
+	lineSent  = 255 // written by my current sender: chunk staged
+)
+
+// Port is a per-core handle to the two-sided layer. Create one per core
+// inside Chip.Run. A core has at most one outstanding send and one
+// outstanding receive, and at most one sender may target a given receiver
+// at a time — the discipline RCCE itself imposes and that the RCCE_comm
+// collectives satisfy by construction.
+type Port struct {
+	core *rma.Core
+	// Monotonic per-pair chunk sequence numbers. Chunk tags never
+	// repeat, so stale flag lines can never satisfy a future wait.
+	sendSeq   map[int]uint64 // per destination
+	recvSeq   map[int]uint64 // per source
+	turnGrant map[int]uint64 // send turns granted, per peer
+	turnWait  map[int]uint64 // send turns awaited, per peer
+	epoch     uint64         // barrier epoch
+}
+
+// NewPort wraps a core with two-sided communication state.
+func NewPort(core *rma.Core) *Port {
+	return &Port{
+		core:      core,
+		sendSeq:   make(map[int]uint64),
+		recvSeq:   make(map[int]uint64),
+		turnGrant: make(map[int]uint64),
+		turnWait:  make(map[int]uint64),
+	}
+}
+
+// Core returns the underlying RMA core handle.
+func (p *Port) Core() *rma.Core { return p.core }
+
+// tag encodes (peer, seq) into a flag value. Sequence numbers are
+// per-ordered-pair and monotonic, so equality matching is unambiguous.
+func tag(peer int, seq uint64) uint64 {
+	return uint64(peer+1)<<40 | seq
+}
+
+// Send transmits `lines` cache lines starting at byte address addr (32-B
+// aligned) of this core's private memory to core dst. It blocks, RCCE
+// style, until the receiver has consumed every chunk: per chunk the
+// sender stages data into its OWN MPB (a local put), flags the receiver,
+// and waits for the receiver's ack before reusing the staging buffer.
+//
+// The one-line sent channel admits a single in-flight sender per
+// receiver. Tree collectives satisfy this by construction for broadcast
+// and scatter; operations where several children target one parent
+// (reduce, gather) serialize senders with GrantTurn/AwaitTurn.
+func (p *Port) Send(dst int, addr, lines int) {
+	if dst == p.core.ID() {
+		panic("rcce: send to self")
+	}
+	checkMsg(addr, lines)
+	me := p.core.ID()
+	for off := 0; off < lines; off += PayloadLines {
+		m := lines - off
+		if m > PayloadLines {
+			m = PayloadLines
+		}
+		p.sendSeq[dst]++
+		seq := p.sendSeq[dst]
+		// Stage the chunk in my own MPB: local put, distance 1.
+		p.core.PutMemToMPB(me, 0, addr+off*scc.CacheLine, m)
+		// Tell the receiver the chunk is ready.
+		p.core.SetFlag(dst, lineSent, tag(me, seq))
+		// Wait for the consumption ack before overwriting the buffer.
+		want := tag(dst, seq)
+		p.core.WaitFlag(lineReady, func(v uint64) bool { return v == want })
+	}
+}
+
+// Recv receives `lines` cache lines from core src into this core's
+// private memory at byte address addr. Chunks are pulled from the
+// sender's MPB with a one-sided get, then acked.
+func (p *Port) Recv(src int, addr, lines int) {
+	if src == p.core.ID() {
+		panic("rcce: recv from self")
+	}
+	checkMsg(addr, lines)
+	me := p.core.ID()
+	for off := 0; off < lines; off += PayloadLines {
+		m := lines - off
+		if m > PayloadLines {
+			m = PayloadLines
+		}
+		p.recvSeq[src]++
+		seq := p.recvSeq[src]
+		want := tag(src, seq)
+		p.core.WaitFlag(lineSent, func(v uint64) bool { return v == want })
+		p.core.GetMPBToMem(src, 0, addr+off*scc.CacheLine, m)
+		p.core.SetFlag(src, lineReady, tag(me, seq))
+	}
+}
+
+// turnTag marks a turn-grant value, disjoint from data-ack tags.
+func turnTag(peer int, seq uint64) uint64 {
+	return 1<<63 | tag(peer, seq)
+}
+
+// GrantTurn tells peer it may now send to this core. It writes the
+// peer's ready line, which is safe because the granter is also the
+// peer's current ack writer (the parent in reduce/gather), so the line
+// keeps a single writer.
+func (p *Port) GrantTurn(peer int) {
+	p.turnGrant[peer]++
+	p.core.SetFlag(peer, lineReady, turnTag(p.core.ID(), p.turnGrant[peer]))
+}
+
+// AwaitTurn blocks until peer grants this core a send turn.
+func (p *Port) AwaitTurn(peer int) {
+	p.turnWait[peer]++
+	want := turnTag(peer, p.turnWait[peer])
+	p.core.WaitFlag(lineReady, func(v uint64) bool { return v == want })
+}
+
+func checkMsg(addr, lines int) {
+	if lines <= 0 {
+		panic(fmt.Sprintf("rcce: non-positive message size %d lines", lines))
+	}
+	if addr%scc.CacheLine != 0 {
+		panic(fmt.Sprintf("rcce: address %d not cache-line aligned", addr))
+	}
+}
+
+// SendRecv simultaneously sends to dst and receives from src (both
+// nonzero-size, both ≤ PayloadLines per chunk round). It stages each
+// outgoing chunk and flags the receiver BEFORE blocking on the incoming
+// chunk, which makes ring exchanges (each core sends left, receives
+// right) deadlock-free — the reason MPI provides sendrecv and what the
+// scatter-allgather baseline's exchange rounds need.
+func (p *Port) SendRecv(dst, sendAddr, sendLines, src, recvAddr, recvLines int) {
+	if dst == p.core.ID() || src == p.core.ID() {
+		panic("rcce: sendrecv with self")
+	}
+	checkMsg(sendAddr, sendLines)
+	checkMsg(recvAddr, recvLines)
+	me := p.core.ID()
+
+	sendOff, recvOff := 0, 0
+	for sendOff < sendLines || recvOff < recvLines {
+		var seq uint64
+		staged := false
+		if sendOff < sendLines {
+			m := sendLines - sendOff
+			if m > PayloadLines {
+				m = PayloadLines
+			}
+			p.sendSeq[dst]++
+			seq = p.sendSeq[dst]
+			p.core.PutMemToMPB(me, 0, sendAddr+sendOff*scc.CacheLine, m)
+			p.core.SetFlag(dst, lineSent, tag(me, seq))
+			sendOff += m
+			staged = true
+		}
+		if recvOff < recvLines {
+			m := recvLines - recvOff
+			if m > PayloadLines {
+				m = PayloadLines
+			}
+			p.recvSeq[src]++
+			want := tag(src, p.recvSeq[src])
+			p.core.WaitFlag(lineSent, func(v uint64) bool { return v == want })
+			p.core.GetMPBToMem(src, 0, recvAddr+recvOff*scc.CacheLine, m)
+			p.core.SetFlag(src, lineReady, tag(me, p.recvSeq[src]))
+			recvOff += m
+		}
+		if staged {
+			want := tag(dst, seq)
+			p.core.WaitFlag(lineReady, func(v uint64) bool { return v == want })
+		}
+	}
+}
+
+// Barrier synchronizes all cores using a binary gather-release tree over
+// MPB flags. Each call uses a fresh epoch value, so flag lines are safely
+// reused across barriers (single writer per line per epoch, waits are ≥).
+func (p *Port) Barrier() {
+	p.epoch++
+	me := p.core.ID()
+	n := p.core.N()
+	left, right := 2*me+1, 2*me+2
+
+	// Gather: wait for children, then report to parent.
+	if left < n {
+		p.core.WaitFlagGE(lineBarrierChildA, p.epoch)
+	}
+	if right < n {
+		p.core.WaitFlagGE(lineBarrierChildB, p.epoch)
+	}
+	if me != 0 {
+		parent := (me - 1) / 2
+		childLine := lineBarrierChildA
+		if me == 2*parent+2 {
+			childLine = lineBarrierChildB
+		}
+		p.core.SetFlag(parent, childLine, p.epoch)
+		p.core.WaitFlagGE(lineBarrierRelease, p.epoch)
+	}
+	// Release downward.
+	if left < n {
+		p.core.SetFlag(left, lineBarrierRelease, p.epoch)
+	}
+	if right < n {
+		p.core.SetFlag(right, lineBarrierRelease, p.epoch)
+	}
+}

@@ -1,0 +1,125 @@
+// Package rma assembles a simulated SCC chip and provides the one-sided
+// Remote Memory Access primitives of the RCCE layer — put and get between
+// MPBs and private off-chip memory — with costs charged exactly per the
+// paper's LogP-based model (§3.1, Formulas 1–12), plus the MPB-port
+// contention model of §3.3.
+package rma
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/noc"
+	"repro/internal/scc"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Chip is a fully assembled simulated SCC: engine, per-core MPBs and
+// private memories, cache models, optional detailed NoC, and counters.
+type Chip struct {
+	Cfg     scc.Config
+	Engine  *sim.Engine
+	NCores  int
+	mpbs    []*mem.MPB
+	privs   []*mem.Private
+	caches  []*mem.Cache
+	mesh    *noc.Mesh
+	Counter []trace.CoreCounters
+	ipi     []ipiState
+}
+
+// NewChip builds a chip with the full 48 cores.
+func NewChip(cfg scc.Config) *Chip {
+	return NewChipN(cfg, scc.NumCores)
+}
+
+// NewChipN builds a chip using the first n cores (n ≤ 48); smaller chips
+// keep unit tests fast while exercising identical code paths.
+func NewChipN(cfg scc.Config, n int) *Chip {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if n < 1 || n > scc.NumCores {
+		panic(fmt.Sprintf("rma: core count %d out of range [1,%d]", n, scc.NumCores))
+	}
+	c := &Chip{
+		Cfg:     cfg,
+		Engine:  sim.NewEngine(n),
+		NCores:  n,
+		mpbs:    make([]*mem.MPB, n),
+		privs:   make([]*mem.Private, n),
+		caches:  make([]*mem.Cache, n),
+		Counter: make([]trace.CoreCounters, n),
+		ipi:     make([]ipiState, n),
+	}
+	for i := 0; i < n; i++ {
+		c.mpbs[i] = mem.NewMPB(c.Engine, i, cfg.Contention.ReadSvc)
+		c.privs[i] = mem.NewPrivate(i)
+		c.caches[i] = mem.NewCache(cfg.CacheEnabled)
+	}
+	if cfg.NoC == scc.NoCDetailed {
+		c.mesh = noc.NewMesh(cfg.LinkSvc)
+	}
+	return c
+}
+
+// MPB returns core i's message passing buffer.
+func (c *Chip) MPB(i int) *mem.MPB { return c.mpbs[i] }
+
+// Private returns core i's private memory.
+func (c *Chip) Private(i int) *mem.Private { return c.privs[i] }
+
+// Cache returns core i's L1 model.
+func (c *Chip) Cache(i int) *mem.Cache { return c.caches[i] }
+
+// Mesh returns the detailed NoC model, or nil in analytic mode.
+func (c *Chip) Mesh() *noc.Mesh { return c.mesh }
+
+// FlushCaches empties every core's L1 model (between experiment
+// iterations, mirroring the paper's fresh-offset methodology).
+func (c *Chip) FlushCaches() {
+	for _, ca := range c.caches {
+		ca.Flush()
+	}
+}
+
+// Run executes body on every core concurrently in virtual time. Each Chip
+// supports a single Run; construct a fresh Chip per simulation.
+func (c *Chip) Run(body func(core *Core)) {
+	c.Engine.Run(func(p *sim.Proc) {
+		body(&Core{chip: c, proc: p, id: p.ID()})
+	})
+}
+
+// Core is a per-process handle exposing the RMA primitives. It is only
+// valid inside the body function passed to Chip.Run, on its own goroutine.
+type Core struct {
+	chip *Chip
+	proc *sim.Proc
+	id   int
+}
+
+// ID reports the core id.
+func (c *Core) ID() int { return c.id }
+
+// N reports the number of cores on the chip.
+func (c *Core) N() int { return c.chip.NCores }
+
+// Now reports the core's virtual clock.
+func (c *Core) Now() sim.Time { return c.proc.Now() }
+
+// Chip returns the chip the core belongs to.
+func (c *Core) Chip() *Chip { return c.chip }
+
+// Compute advances the core's clock by d, modelling local computation.
+func (c *Core) Compute(d sim.Duration) { c.proc.Advance(d) }
+
+// counters returns the core's counter record.
+func (c *Core) counters() *trace.CoreCounters { return &c.chip.Counter[c.id] }
+
+// distMPB is the hop distance from this core to core dst's MPB.
+func (c *Core) distMPB(dst int) int { return scc.CoreDistance(c.id, dst) }
+
+// distMem is the hop distance from this core to its memory controller.
+func (c *Core) distMem() int { return scc.MemDistance(c.id) }

@@ -1,0 +1,89 @@
+package rma
+
+import (
+	"encoding/binary"
+
+	"repro/internal/scc"
+	"repro/internal/sim"
+)
+
+// Flags are single-cache-line synchronization variables living in MPBs.
+// The SCC guarantees 32 B read/write atomicity, so a flag occupies one
+// line and needs no locking (paper §5.1). Flag values here are uint64
+// sequence numbers (little-endian in the line's first 8 bytes): OC-Bcast
+// flags carry the chunk sequence, so they never need resetting on the
+// fast path.
+
+// SetFlag writes value into line `line` of core dst's MPB. It is a 1-line
+// put whose payload is a register value, so no source read is charged:
+// completion = o^mpb_put + C^mpb_w(d).
+func (c *Core) SetFlag(dst, line int, value uint64) {
+	p := c.chip.Cfg.Params
+	d := c.distMPB(dst)
+	t0 := c.Now()
+
+	dstPort := c.reservePort(dst, t0, 1, true)
+	mesh := c.meshTraverse(t0, scc.CoreCoord(c.id), scc.CoreCoord(dst), 1)
+
+	eff := t0 + p.OMpbPut + c.LMpbW(d)
+	analytic := t0 + p.OMpbPut + c.CMpbW(d)
+	delay := c.finishOp(analytic, dstPort, sim.Duration(d)*p.Lhop, mesh)
+
+	var buf [scc.CacheLine]byte
+	binary.LittleEndian.PutUint64(buf[:8], value)
+	c.chip.MPB(dst).WriteLine(line, buf[:], eff+delay)
+
+	ctr := c.counters()
+	ctr.MPBWriteLines++
+	ctr.FlagSets++
+}
+
+// ReadFlag reads the flag in line `line` of core src's MPB, charging one
+// line read C^mpb_r(d).
+func (c *Core) ReadFlag(src, line int) uint64 {
+	d := c.distMPB(src)
+	t0 := c.Now()
+	srcPort := c.reservePort(src, t0, 1, false)
+	t := t0 + c.CMpbR(d)
+	delay := c.finishOp(t, srcPort, sim.Duration(d)*c.chip.Cfg.Params.Lhop, 0)
+	_ = delay
+	v := c.chip.MPB(src).PeekU64(line, c.Now())
+	c.counters().MPBReadLines++
+	return v
+}
+
+// WaitFlag blocks until the flag in this core's own MPB line satisfies
+// pred, then charges one local read C^mpb_r(1) — the final successful
+// poll. Earlier unsuccessful polls cost no virtual time, matching the
+// paper's modelling assumption that flag checking overlaps the wait.
+func (c *Core) WaitFlag(line int, pred func(uint64) bool) uint64 {
+	own := c.chip.MPB(c.id)
+	own.WaitU64(c.proc, line, pred)
+	c.proc.Advance(c.CMpbR(1))
+	v := own.PeekU64(line, c.Now())
+	ctr := c.counters()
+	ctr.MPBReadLines++
+	ctr.FlagWaits++
+	return v
+}
+
+// WaitFlagGE blocks until the flag is ≥ seq (the common case: flags carry
+// monotonically increasing chunk sequence numbers).
+func (c *Core) WaitFlagGE(line int, seq uint64) uint64 {
+	return c.WaitFlag(line, func(v uint64) bool { return v >= seq })
+}
+
+// LocalFlag reads a flag from the core's own MPB without charging time —
+// for assertions and tests only.
+func (c *Core) LocalFlag(line int) uint64 {
+	return c.chip.MPB(c.id).PeekU64(line, c.Now())
+}
+
+// WriteLocalLine stores a full line into the core's own MPB, charging a
+// local line write C^mpb_w(1). Used to initialize buffers and flags.
+func (c *Core) WriteLocalLine(line int, data []byte) {
+	eff := c.Now() + c.LMpbW(1)
+	c.chip.MPB(c.id).WriteLine(line, data, eff)
+	c.proc.Advance(c.CMpbW(1))
+	c.counters().MPBWriteLines++
+}

@@ -1,0 +1,157 @@
+// Package scc models the Intel Single-Chip Cloud Computer's physical
+// organization: 48 Pentium P54C cores on 24 tiles arranged in a 6×4 grid,
+// a 2D-mesh network-on-chip with deterministic X-Y virtual cut-through
+// routing, per-tile Message Passing Buffers (16 KB, split between the
+// tile's two cores), and four off-chip memory controllers at the mesh
+// corners.
+package scc
+
+import "fmt"
+
+// Chip geometry constants (Howard et al., ISSCC 2010; paper §2.1).
+const (
+	MeshWidth    = 6 // tiles per row, x ∈ [0,6)
+	MeshHeight   = 4 // tiles per column, y ∈ [0,4)
+	NumTiles     = MeshWidth * MeshHeight
+	CoresPerTile = 2
+	NumCores     = NumTiles * CoresPerTile
+
+	// CacheLine is the unit of data transmission on the SCC: one NoC
+	// packet carries one 32-byte cache line (paper §2.2).
+	CacheLine = 32
+
+	// MPBBytesPerCore is each core's share of its tile's 16 KB MPB.
+	MPBBytesPerCore = 8 * 1024
+	// MPBLinesPerCore is the MPB size in cache lines (256).
+	MPBLinesPerCore = MPBBytesPerCore / CacheLine
+)
+
+// Coord is a tile position on the mesh, (0,0) bottom-left to (5,3) as in
+// Figure 1 of the paper.
+type Coord struct {
+	X, Y int
+}
+
+// String formats the coordinate like the paper: "(x,y)".
+func (c Coord) String() string { return fmt.Sprintf("(%d,%d)", c.X, c.Y) }
+
+// Valid reports whether the coordinate lies on the mesh.
+func (c Coord) Valid() bool {
+	return c.X >= 0 && c.X < MeshWidth && c.Y >= 0 && c.Y < MeshHeight
+}
+
+// TileID converts a coordinate to a tile id in row-major order.
+func (c Coord) TileID() int { return c.Y*MeshWidth + c.X }
+
+// TileCoord converts a tile id (0..23) to its mesh coordinate.
+func TileCoord(tile int) Coord {
+	if tile < 0 || tile >= NumTiles {
+		panic(fmt.Sprintf("scc: tile id %d out of range [0,%d)", tile, NumTiles))
+	}
+	return Coord{X: tile % MeshWidth, Y: tile / MeshWidth}
+}
+
+// CoreTile reports the tile a core sits on. Cores are numbered so that
+// cores 2t and 2t+1 share tile t, matching sccLinux's enumeration.
+func CoreTile(core int) int {
+	if core < 0 || core >= NumCores {
+		panic(fmt.Sprintf("scc: core id %d out of range [0,%d)", core, NumCores))
+	}
+	return core / CoresPerTile
+}
+
+// CoreCoord reports the mesh coordinate of a core's tile.
+func CoreCoord(core int) Coord { return TileCoord(CoreTile(core)) }
+
+// MemoryControllers are the mesh positions of the four DDR3 controllers.
+// They attach to the router at the listed tile (chip edges: tiles (0,0),
+// (5,0), (0,2) and (5,2), per Figure 1).
+var MemoryControllers = [4]Coord{
+	{X: 0, Y: 0},
+	{X: 5, Y: 0},
+	{X: 0, Y: 2},
+	{X: 5, Y: 2},
+}
+
+// ControllerFor reports which memory controller serves a core under the
+// standard LUT configuration: the chip is split into four quadrants and
+// each quadrant uses its nearest controller.
+func ControllerFor(core int) Coord {
+	c := CoreCoord(core)
+	i := 0
+	if c.X >= MeshWidth/2 {
+		i = 1
+	}
+	if c.Y >= MeshHeight/2 {
+		i += 2
+	}
+	return MemoryControllers[i]
+}
+
+// HopDistance is the number of routers a packet traverses from the source
+// tile to the destination tile under X-Y routing: the packet enters the
+// source tile's router, moves along X, then along Y. This is the model
+// parameter d of the paper. A core accessing its own tile's MPB still
+// goes through the local router, so the minimum distance is 1
+// (paper §2.2: direct local access is discouraged due to a hardware bug).
+func HopDistance(src, dst Coord) int {
+	d := abs(src.X-dst.X) + abs(src.Y-dst.Y) + 1
+	return d
+}
+
+// CoreDistance is the hop distance between two cores' tiles.
+func CoreDistance(a, b int) int {
+	return HopDistance(CoreCoord(a), CoreCoord(b))
+}
+
+// MemDistance is the hop distance from a core to its memory controller.
+func MemDistance(core int) int {
+	return HopDistance(CoreCoord(core), ControllerFor(core))
+}
+
+// Link identifies a directed mesh link between two adjacent routers.
+type Link struct {
+	From, To Coord
+}
+
+// String formats the link as "(x,y)->(x,y)".
+func (l Link) String() string { return l.From.String() + "->" + l.To.String() }
+
+// XYPath returns the ordered list of directed links a packet traverses
+// from src to dst under X-Y routing (X first, then Y). The path is empty
+// when src == dst (local router only).
+func XYPath(src, dst Coord) []Link {
+	if !src.Valid() || !dst.Valid() {
+		panic(fmt.Sprintf("scc: XYPath with off-mesh coordinate %v -> %v", src, dst))
+	}
+	var path []Link
+	cur := src
+	for cur.X != dst.X {
+		next := cur
+		if dst.X > cur.X {
+			next.X++
+		} else {
+			next.X--
+		}
+		path = append(path, Link{From: cur, To: next})
+		cur = next
+	}
+	for cur.Y != dst.Y {
+		next := cur
+		if dst.Y > cur.Y {
+			next.Y++
+		} else {
+			next.Y--
+		}
+		path = append(path, Link{From: cur, To: next})
+		cur = next
+	}
+	return path
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

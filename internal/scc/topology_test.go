@@ -1,0 +1,201 @@
+package scc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGeometryConstants(t *testing.T) {
+	if NumTiles != 24 || NumCores != 48 {
+		t.Fatalf("tiles=%d cores=%d, want 24/48", NumTiles, NumCores)
+	}
+	if MPBLinesPerCore != 256 {
+		t.Fatalf("MPB lines per core = %d, want 256 (8KB / 32B)", MPBLinesPerCore)
+	}
+}
+
+func TestTileCoordRoundTrip(t *testing.T) {
+	for tile := 0; tile < NumTiles; tile++ {
+		c := TileCoord(tile)
+		if !c.Valid() {
+			t.Fatalf("tile %d coord %v invalid", tile, c)
+		}
+		if c.TileID() != tile {
+			t.Fatalf("round trip failed: tile %d -> %v -> %d", tile, c, c.TileID())
+		}
+	}
+}
+
+func TestCoreTileMapping(t *testing.T) {
+	// Cores 0,1 share tile 0; cores 46,47 share tile 23.
+	if CoreTile(0) != 0 || CoreTile(1) != 0 {
+		t.Fatal("cores 0 and 1 must share tile 0")
+	}
+	if CoreTile(46) != 23 || CoreTile(47) != 23 {
+		t.Fatal("cores 46 and 47 must share tile 23")
+	}
+	if c := CoreCoord(47); c != (Coord{5, 3}) {
+		t.Fatalf("core 47 at %v, want (5,3)", c)
+	}
+}
+
+func TestHopDistanceProperties(t *testing.T) {
+	// Same tile: local router only -> d = 1 (paper §2.2 / §3.2: "1-hop
+	// distance means accessing the MPB of the other core on the same
+	// tile").
+	if d := HopDistance(Coord{2, 2}, Coord{2, 2}); d != 1 {
+		t.Fatalf("same-tile distance = %d, want 1", d)
+	}
+	// Maximum distance on the 6x4 mesh is 9 hops (paper §3.2).
+	if d := HopDistance(Coord{0, 0}, Coord{5, 3}); d != 9 {
+		t.Fatalf("corner-to-corner = %d, want 9", d)
+	}
+	max := 0
+	for a := 0; a < NumTiles; a++ {
+		for b := 0; b < NumTiles; b++ {
+			d := HopDistance(TileCoord(a), TileCoord(b))
+			if d < 1 {
+				t.Fatalf("distance %d < 1 for tiles %d,%d", d, a, b)
+			}
+			if d > max {
+				max = d
+			}
+			// Symmetry.
+			if rd := HopDistance(TileCoord(b), TileCoord(a)); rd != d {
+				t.Fatalf("asymmetric distance between %d and %d: %d vs %d", a, b, d, rd)
+			}
+		}
+	}
+	if max != 9 {
+		t.Fatalf("max mesh distance = %d, want 9", max)
+	}
+}
+
+func TestXYPathProperties(t *testing.T) {
+	f := func(sa, sb, da, db uint8) bool {
+		src := Coord{int(sa) % MeshWidth, int(sb) % MeshHeight}
+		dst := Coord{int(da) % MeshWidth, int(db) % MeshHeight}
+		path := XYPath(src, dst)
+		// Length: manhattan distance.
+		if len(path) != abs(src.X-dst.X)+abs(src.Y-dst.Y) {
+			return false
+		}
+		// Connectivity and X-before-Y ordering.
+		cur := src
+		turnedY := false
+		for _, l := range path {
+			if l.From != cur {
+				return false
+			}
+			dx, dy := l.To.X-l.From.X, l.To.Y-l.From.Y
+			if abs(dx)+abs(dy) != 1 {
+				return false // not a unit mesh step
+			}
+			if dy != 0 {
+				turnedY = true
+			}
+			if dx != 0 && turnedY {
+				return false // X move after a Y move violates X-Y routing
+			}
+			if !l.To.Valid() {
+				return false
+			}
+			cur = l.To
+		}
+		return cur == dst
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestControllerAssignment(t *testing.T) {
+	// Quadrant corners map to their own controller's tile.
+	cases := []struct {
+		core int
+		want Coord
+	}{
+		{0, Coord{0, 0}},  // tile (0,0)
+		{10, Coord{5, 0}}, // tile 5 = (5,0)
+		{24, Coord{0, 2}}, // tile 12 = (0,2)
+		{47, Coord{5, 2}}, // tile 23 = (5,3) -> controller (5,2)
+	}
+	for _, tc := range cases {
+		if got := ControllerFor(tc.core); got != tc.want {
+			t.Errorf("ControllerFor(%d) = %v, want %v", tc.core, got, tc.want)
+		}
+	}
+	// Every core's controller distance is within the paper's 1..4 range
+	// used in Figure 3's memory plots.
+	for core := 0; core < NumCores; core++ {
+		d := MemDistance(core)
+		if d < 1 || d > 4 {
+			t.Errorf("core %d memory distance %d outside [1,4]", core, d)
+		}
+	}
+}
+
+func TestPanicsOnBadInput(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("TileCoord(-1)", func() { TileCoord(-1) })
+	mustPanic("TileCoord(24)", func() { TileCoord(NumTiles) })
+	mustPanic("CoreTile(48)", func() { CoreTile(NumCores) })
+	mustPanic("XYPath off-mesh", func() { XYPath(Coord{-1, 0}, Coord{0, 0}) })
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := DefaultConfig()
+	bad.Params.Lhop = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero Lhop accepted")
+	}
+	bad = DefaultConfig()
+	bad.Contention.ReadSvc = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero ReadSvc with contention enabled accepted")
+	}
+	bad = DefaultConfig()
+	bad.NoC = NoCDetailed
+	bad.LinkSvc = 0
+	if bad.Validate() == nil {
+		t.Fatal("detailed NoC with zero LinkSvc accepted")
+	}
+	if NoCAnalytic.String() != "analytic" || NoCDetailed.String() != "detailed" {
+		t.Fatal("NoCMode String broken")
+	}
+}
+
+func TestTable1Values(t *testing.T) {
+	p := Table1()
+	// Spot-check against the paper's Table 1 (µs).
+	checks := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"Lhop", p.Lhop.Microseconds(), 0.005},
+		{"ompb", p.OMpb.Microseconds(), 0.126},
+		{"omem_w", p.OMemW.Microseconds(), 0.461},
+		{"omem_r", p.OMemR.Microseconds(), 0.208},
+		{"ompb_put", p.OMpbPut.Microseconds(), 0.069},
+		{"ompb_get", p.OMpbGet.Microseconds(), 0.33},
+		{"omem_put", p.OMemPut.Microseconds(), 0.19},
+		{"omem_get", p.OMemGet.Microseconds(), 0.095},
+	}
+	for _, c := range checks {
+		if c.got != c.want {
+			t.Errorf("%s = %v, want %v", c.name, c.got, c.want)
+		}
+	}
+}

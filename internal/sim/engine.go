@@ -1,0 +1,150 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Engine is a deterministic virtual-time scheduler for a fixed set of
+// processes. It is single-threaded from the simulation's point of view:
+// although each process is a goroutine, exactly one runs at any instant,
+// and the engine always picks the runnable process with the smallest
+// virtual clock (ties broken by process id). Writes to simulated memory
+// are therefore applied in global time order.
+type Engine struct {
+	procs    []*Proc
+	started  bool
+	finished int
+
+	// watchers maps a watch key to the processes blocked on it.
+	watchers map[WatchKey][]*blockedProc
+
+	panicVal any // re-panicked on Run if a process panicked
+}
+
+// WatchKey identifies a condition a process can block on. Memory
+// implementations signal the key when a write may have changed the
+// condition's outcome.
+type WatchKey struct {
+	// Space distinguishes address spaces (e.g. one per MPB).
+	Space int
+	// Line is the cache-line index within the space.
+	Line int
+}
+
+type blockedProc struct {
+	p    *Proc
+	pred func() bool
+	// wake is the earliest virtual time the process may resume
+	// (typically the effective time of the write that satisfied the
+	// predicate).
+	wake Time
+}
+
+// NewEngine creates an engine with n processes whose ids are 0..n-1.
+func NewEngine(n int) *Engine {
+	e := &Engine{watchers: make(map[WatchKey][]*blockedProc)}
+	e.procs = make([]*Proc, n)
+	for i := range e.procs {
+		e.procs[i] = newProc(e, i)
+	}
+	return e
+}
+
+// N reports the number of processes.
+func (e *Engine) N() int { return len(e.procs) }
+
+// Proc returns process i.
+func (e *Engine) Proc(i int) *Proc { return e.procs[i] }
+
+// Run executes body(p) on every process concurrently in virtual time and
+// returns when all processes have finished. It panics if the simulation
+// deadlocks (some process blocked forever) or if any process panics.
+func (e *Engine) Run(body func(p *Proc)) {
+	if e.started {
+		panic("sim: Engine.Run called twice; create a new Engine per run")
+	}
+	e.started = true
+	for _, p := range e.procs {
+		p.start(body)
+	}
+	e.loop()
+	if e.panicVal != nil {
+		panic(e.panicVal)
+	}
+}
+
+// loop drives the scheduler until every process has finished.
+func (e *Engine) loop() {
+	for e.finished < len(e.procs) {
+		p := e.pickNext()
+		if p == nil {
+			e.reportDeadlock()
+		}
+		p.step()
+		if e.panicVal != nil {
+			// Unblock remains: tear down by abandoning; goroutines
+			// blocked on resume channels are garbage once the engine
+			// is dropped (they hold no OS resources).
+			return
+		}
+	}
+}
+
+// pickNext returns the runnable process with the smallest (clock, id).
+func (e *Engine) pickNext() *Proc {
+	var best *Proc
+	for _, p := range e.procs {
+		if p.state != stateRunnable {
+			continue
+		}
+		if best == nil || p.now < best.now || (p.now == best.now && p.id < best.id) {
+			best = p
+		}
+	}
+	return best
+}
+
+// Signal re-evaluates every process blocked on key. Processes whose
+// predicate now holds become runnable no earlier than at time at.
+// Memory implementations call this after applying a write.
+func (e *Engine) Signal(key WatchKey, at Time) {
+	blocked := e.watchers[key]
+	if len(blocked) == 0 {
+		return
+	}
+	remaining := blocked[:0]
+	for _, b := range blocked {
+		if b.pred() {
+			if b.wake < at {
+				b.wake = at
+			}
+			b.p.unblock(b.wake)
+		} else {
+			remaining = append(remaining, b)
+		}
+	}
+	if len(remaining) == 0 {
+		delete(e.watchers, key)
+	} else {
+		e.watchers[key] = remaining
+	}
+}
+
+// addWatcher registers p as blocked on key with the given predicate.
+func (e *Engine) addWatcher(key WatchKey, p *Proc, pred func() bool) {
+	e.watchers[key] = append(e.watchers[key], &blockedProc{p: p, pred: pred, wake: p.now})
+}
+
+// reportDeadlock panics with a description of all blocked processes.
+func (e *Engine) reportDeadlock() {
+	var stuck []int
+	for _, p := range e.procs {
+		if p.state == stateBlocked {
+			stuck = append(stuck, p.id)
+		}
+	}
+	sort.Ints(stuck)
+	panic(fmt.Sprintf("sim: deadlock — %d/%d processes finished, blocked procs: %v",
+		e.finished, len(e.procs), stuck))
+}

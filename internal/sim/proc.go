@@ -1,0 +1,119 @@
+package sim
+
+type procState int
+
+const (
+	stateNew procState = iota
+	stateRunnable
+	stateBlocked
+	stateDone
+)
+
+// Proc is one simulated processor: a goroutine whose execution is
+// serialized by the engine in virtual-time order. All methods must be
+// called from within the process's own body function.
+type Proc struct {
+	id    int
+	eng   *Engine
+	now   Time
+	state procState
+
+	resume chan struct{} // engine -> proc: you may run
+	yield  chan struct{} // proc -> engine: my step is done
+}
+
+func newProc(e *Engine, id int) *Proc {
+	return &Proc{
+		id:     id,
+		eng:    e,
+		state:  stateNew,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+	}
+}
+
+// ID reports the process id (0..N-1).
+func (p *Proc) ID() int { return p.id }
+
+// Now reports the process's current virtual time.
+func (p *Proc) Now() Time { return p.now }
+
+// Engine returns the engine driving this process.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// start launches the process goroutine. The goroutine waits for its first
+// resume before executing body.
+func (p *Proc) start(body func(*Proc)) {
+	p.state = stateRunnable
+	go func() {
+		<-p.resume
+		defer func() {
+			if r := recover(); r != nil {
+				p.eng.panicVal = r
+			}
+			p.state = stateDone
+			p.eng.finished++
+			p.yield <- struct{}{}
+		}()
+		body(p)
+	}()
+}
+
+// step lets the process run until it yields (advances time, blocks, or
+// finishes).
+func (p *Proc) step() {
+	p.resume <- struct{}{}
+	<-p.yield
+}
+
+// doYield returns control to the engine and waits to be resumed.
+func (p *Proc) doYield() {
+	p.yield <- struct{}{}
+	<-p.resume
+}
+
+// Advance moves the process's clock forward by d and yields so the engine
+// can schedule other processes. d must be non-negative.
+func (p *Proc) Advance(d Duration) {
+	if d < 0 {
+		panic("sim: negative Advance")
+	}
+	p.now += d
+	p.doYield()
+}
+
+// AdvanceTo moves the clock to t if t is in the future, then yields.
+func (p *Proc) AdvanceTo(t Time) {
+	if t > p.now {
+		p.now = t
+	}
+	p.doYield()
+}
+
+// Block suspends the process until pred() holds for the given watch key.
+// The predicate is evaluated immediately; if it already holds the process
+// merely yields. Otherwise the process sleeps until a Signal on key finds
+// the predicate true, and resumes no earlier than the signalling write's
+// effective time. Block returns the process's clock after waking.
+func (p *Proc) Block(key WatchKey, pred func() bool) Time {
+	if pred() {
+		p.doYield()
+		return p.now
+	}
+	p.state = stateBlocked
+	p.eng.addWatcher(key, p, pred)
+	p.doYield()
+	return p.now
+}
+
+// unblock makes a blocked process runnable again at time wake (or its own
+// clock, whichever is later).
+func (p *Proc) unblock(wake Time) {
+	if p.state != stateBlocked {
+		return
+	}
+	if wake > p.now {
+		p.now = wake
+	}
+	p.state = stateRunnable
+}

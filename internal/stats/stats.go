@@ -1,0 +1,171 @@
+// Package stats provides the small statistical toolkit the calibration
+// and experiment harness need: summary statistics and multivariate
+// ordinary-least-squares regression (used to re-fit Table 1's model
+// parameters from simulated microbenchmarks, as the paper fitted them
+// from hardware measurements).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary describes a sample.
+type Summary struct {
+	N              int
+	Mean, Min, Max float64
+	StdDev         float64
+	P50, P95       float64
+}
+
+// Summarize computes summary statistics; it panics on an empty sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		panic("stats: empty sample")
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	s.StdDev = math.Sqrt(ss / float64(len(xs)))
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.P50 = quantile(sorted, 0.50)
+	s.P95 = quantile(sorted, 0.95)
+	return s
+}
+
+// quantile reads q from an ascending sample with linear interpolation.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	if lo >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Mean of a sample.
+func Mean(xs []float64) float64 { return Summarize(xs).Mean }
+
+// OLS fits y ≈ X·β by ordinary least squares via the normal equations
+// (XᵀX)β = Xᵀy solved with Gaussian elimination. Rows of x are
+// observations; all rows must have the same number of features. Returns
+// the coefficient vector and the R² goodness of fit.
+func OLS(x [][]float64, y []float64) (beta []float64, r2 float64, err error) {
+	n := len(x)
+	if n == 0 || n != len(y) {
+		return nil, 0, fmt.Errorf("stats: OLS needs matching, non-empty x (%d) and y (%d)", n, len(y))
+	}
+	k := len(x[0])
+	if k == 0 {
+		return nil, 0, fmt.Errorf("stats: OLS needs at least one feature")
+	}
+	for i, row := range x {
+		if len(row) != k {
+			return nil, 0, fmt.Errorf("stats: row %d has %d features, want %d", i, len(row), k)
+		}
+	}
+	if n < k {
+		return nil, 0, fmt.Errorf("stats: underdetermined system: %d observations for %d features", n, k)
+	}
+
+	// Normal equations.
+	xtx := make([][]float64, k)
+	xty := make([]float64, k)
+	for i := range xtx {
+		xtx[i] = make([]float64, k)
+	}
+	for r := 0; r < n; r++ {
+		for i := 0; i < k; i++ {
+			xty[i] += x[r][i] * y[r]
+			for j := 0; j < k; j++ {
+				xtx[i][j] += x[r][i] * x[r][j]
+			}
+		}
+	}
+	beta, err = solve(xtx, xty)
+	if err != nil {
+		return nil, 0, err
+	}
+
+	// R².
+	var meanY float64
+	for _, v := range y {
+		meanY += v
+	}
+	meanY /= float64(n)
+	var ssTot, ssRes float64
+	for r := 0; r < n; r++ {
+		var pred float64
+		for i := 0; i < k; i++ {
+			pred += beta[i] * x[r][i]
+		}
+		ssRes += (y[r] - pred) * (y[r] - pred)
+		ssTot += (y[r] - meanY) * (y[r] - meanY)
+	}
+	if ssTot == 0 {
+		r2 = 1
+	} else {
+		r2 = 1 - ssRes/ssTot
+	}
+	return beta, r2, nil
+}
+
+// solve performs Gaussian elimination with partial pivoting on a copy of
+// (a | b).
+func solve(a [][]float64, b []float64) ([]float64, error) {
+	k := len(a)
+	m := make([][]float64, k)
+	for i := range m {
+		m[i] = append(append([]float64(nil), a[i]...), b[i])
+	}
+	for col := 0; col < k; col++ {
+		// Pivot.
+		p := col
+		for r := col + 1; r < k; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[p][col]) {
+				p = r
+			}
+		}
+		if math.Abs(m[p][col]) < 1e-12 {
+			return nil, fmt.Errorf("stats: singular system (column %d)", col)
+		}
+		m[col], m[p] = m[p], m[col]
+		// Eliminate below.
+		for r := col + 1; r < k; r++ {
+			f := m[r][col] / m[col][col]
+			for c := col; c <= k; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	// Back-substitute.
+	out := make([]float64, k)
+	for r := k - 1; r >= 0; r-- {
+		v := m[r][k]
+		for c := r + 1; c < k; c++ {
+			v -= m[r][c] * out[c]
+		}
+		out[r] = v / m[r][r]
+	}
+	return out, nil
+}

@@ -1,0 +1,103 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("bad summary: %+v", s)
+	}
+	if !almost(s.StdDev, math.Sqrt(2), 1e-12) {
+		t.Fatalf("stddev = %v, want sqrt(2)", s.StdDev)
+	}
+	if s.P50 != 3 {
+		t.Fatalf("median = %v, want 3", s.P50)
+	}
+	if !almost(s.P95, 4.8, 1e-12) {
+		t.Fatalf("p95 = %v, want 4.8", s.P95)
+	}
+}
+
+func TestSummarizeSingleton(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.Mean != 7 || s.P50 != 7 || s.P95 != 7 || s.StdDev != 0 {
+		t.Fatalf("singleton summary wrong: %+v", s)
+	}
+}
+
+func TestSummarizeEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty sample did not panic")
+		}
+	}()
+	Summarize(nil)
+}
+
+func TestOLSExactFit(t *testing.T) {
+	// y = 2 + 3·a − 1.5·b, noiseless.
+	var x [][]float64
+	var y []float64
+	for a := 0.0; a < 5; a++ {
+		for b := 0.0; b < 5; b++ {
+			x = append(x, []float64{1, a, b})
+			y = append(y, 2+3*a-1.5*b)
+		}
+	}
+	beta, r2, err := OLS(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(beta[0], 2, 1e-9) || !almost(beta[1], 3, 1e-9) || !almost(beta[2], -1.5, 1e-9) {
+		t.Fatalf("beta = %v, want [2 3 -1.5]", beta)
+	}
+	if !almost(r2, 1, 1e-12) {
+		t.Fatalf("r2 = %v, want 1", r2)
+	}
+}
+
+func TestOLSErrors(t *testing.T) {
+	if _, _, err := OLS(nil, nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, _, err := OLS([][]float64{{1, 2}}, []float64{1}); err == nil {
+		t.Error("underdetermined system accepted")
+	}
+	if _, _, err := OLS([][]float64{{1}, {2}}, []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, _, err := OLS([][]float64{{1, 1}, {2, 2}, {3, 3}}, []float64{1, 2, 3}); err == nil {
+		t.Error("singular (collinear) system accepted")
+	}
+	if _, _, err := OLS([][]float64{{1, 2}, {3}}, []float64{1, 2}); err == nil {
+		t.Error("ragged rows accepted")
+	}
+}
+
+// Property: OLS on noiseless data generated from random coefficients
+// recovers them (when the design matrix is well conditioned).
+func TestOLSRecoveryProperty(t *testing.T) {
+	f := func(c0raw, c1raw int8) bool {
+		c0, c1 := float64(c0raw)/8, float64(c1raw)/8
+		var x [][]float64
+		var y []float64
+		for a := 1.0; a <= 12; a++ {
+			x = append(x, []float64{1, a})
+			y = append(y, c0+c1*a)
+		}
+		beta, r2, err := OLS(x, y)
+		if err != nil {
+			return false
+		}
+		return almost(beta[0], c0, 1e-6) && almost(beta[1], c1, 1e-6) && r2 > 1-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

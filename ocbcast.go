@@ -1,0 +1,244 @@
+// Package ocbcast is a Go reproduction of "High-Performance RMA-Based
+// Broadcast on the Intel SCC" (Petrović, Shahmirzadi, Ropars, Schiper —
+// SPAA 2012). It provides a cycle-accurate-style discrete-event model of
+// the Intel Single-Chip Cloud Computer — 48 cores, 2D-mesh NoC, per-core
+// Message Passing Buffers with RMA put/get — and, on top of it, OC-Bcast
+// (the paper's pipelined k-ary tree broadcast over one-sided
+// communication) together with the RCCE_comm baselines it was evaluated
+// against (binomial tree and scatter-allgather over two-sided
+// send/receive) and further collectives.
+//
+// The basic usage pattern is SPMD, mirroring programming the real SCC:
+//
+//	sys := ocbcast.New(ocbcast.Options{})
+//	sys.WritePrivate(0, 0, payload)       // stage data on core 0
+//	sys.Run(func(c *ocbcast.Core) {
+//	    c.Broadcast(0, 0, lines)          // all cores call collectives
+//	})
+//	data := sys.ReadPrivate(47, 0, len(payload))
+//
+// Virtual time is fully deterministic; c.Now() timestamps taken on
+// different cores are directly comparable, like the SCC's global
+// counters.
+package ocbcast
+
+import (
+	"repro/internal/collective"
+	occore "repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/rcce"
+	"repro/internal/rma"
+	"repro/internal/scc"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// CacheLineBytes is the SCC's transfer granularity (32 bytes).
+const CacheLineBytes = scc.CacheLine
+
+// MaxCores is the SCC's core count.
+const MaxCores = scc.NumCores
+
+// Options configure a simulated chip.
+type Options struct {
+	// Cores is the number of simulated cores, 1..48. 0 means 48.
+	Cores int
+	// K is OC-Bcast's propagation-tree fan-out. 0 means the paper's 7.
+	K int
+	// ChunkLines is OC-Bcast's chunk size Moc. 0 means the paper's 96.
+	ChunkLines int
+	// DisableDoubleBuffer turns off the §4.2 double buffering.
+	DisableDoubleBuffer bool
+	// DisableContention turns off the MPB-port contention model,
+	// yielding the paper's contention-free analytic timing (§3.1).
+	DisableContention bool
+	// DetailedNoC enables per-link packet accounting on the mesh.
+	DetailedNoC bool
+	// Params overrides the Table 1 timing parameters when non-nil.
+	Params *scc.Params
+}
+
+// System is a simulated SCC chip plus collective-operation state.
+type System struct {
+	chip  *rma.Chip
+	occfg occore.Config
+}
+
+// New builds a simulated chip. It panics on invalid options (consistent
+// with misconfiguration being a programming error).
+func New(opts Options) *System {
+	cfg := scc.DefaultConfig()
+	if opts.Params != nil {
+		cfg.Params = *opts.Params
+	}
+	if opts.DisableContention {
+		cfg.Contention.Enabled = false
+	}
+	if opts.DetailedNoC {
+		cfg.NoC = scc.NoCDetailed
+	}
+	n := opts.Cores
+	if n == 0 {
+		n = scc.NumCores
+	}
+	occfg := occore.DefaultConfig()
+	if opts.K != 0 {
+		occfg.K = opts.K
+	}
+	if opts.ChunkLines != 0 {
+		occfg.BufLines = opts.ChunkLines
+	}
+	occfg.DoubleBuffer = !opts.DisableDoubleBuffer
+	if err := occfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &System{chip: rma.NewChipN(cfg, n), occfg: occfg}
+}
+
+// N reports the number of simulated cores.
+func (s *System) N() int { return s.chip.NCores }
+
+// WritePrivate stores bytes into core `core`'s private off-chip memory at
+// byte address addr, before or after Run.
+func (s *System) WritePrivate(core, addr int, data []byte) {
+	s.chip.Private(core).Write(addr, data)
+}
+
+// ReadPrivate copies n bytes from core `core`'s private memory at addr.
+func (s *System) ReadPrivate(core, addr, n int) []byte {
+	out := make([]byte, n)
+	s.chip.Private(core).Read(out, addr, n)
+	return out
+}
+
+// Counters returns core `core`'s data-movement counters.
+func (s *System) Counters(core int) trace.CoreCounters {
+	return s.chip.Counter[core]
+}
+
+// Run executes body on every core concurrently in deterministic virtual
+// time. A System supports a single Run; build a new System per
+// simulation.
+func (s *System) Run(body func(c *Core)) {
+	s.chip.Run(func(rc *rma.Core) {
+		port := rcce.NewPort(rc)
+		body(&Core{
+			rma:  rc,
+			port: port,
+			comm: collective.NewComm(port),
+			bc:   occore.NewBroadcaster(rc, s.occfg),
+		})
+	})
+}
+
+// Core is the per-core handle available inside Run.
+type Core struct {
+	rma  *rma.Core
+	port *rcce.Port
+	comm *collective.Comm
+	bc   *occore.Broadcaster
+}
+
+// ID reports the core id (0..N-1); N reports the core count.
+func (c *Core) ID() int { return c.rma.ID() }
+
+// N reports the number of cores.
+func (c *Core) N() int { return c.rma.N() }
+
+// Now reports the core's virtual clock.
+func (c *Core) Now() sim.Time { return c.rma.Now() }
+
+// NowMicros reports the virtual clock in microseconds.
+func (c *Core) NowMicros() float64 { return c.rma.Now().Microseconds() }
+
+// Compute advances the core's clock by us microseconds of local work.
+func (c *Core) Compute(us float64) { c.rma.Compute(sim.Micros(us)) }
+
+// Broadcast runs OC-Bcast: `lines` cache lines from root's private memory
+// at byte address addr to the same address on every core. All cores must
+// call it with matching arguments.
+func (c *Core) Broadcast(root, addr, lines int) { c.bc.Bcast(root, addr, lines) }
+
+// BroadcastBinomial runs the RCCE_comm binomial-tree baseline.
+func (c *Core) BroadcastBinomial(root, addr, lines int) {
+	c.comm.BcastBinomial(root, addr, lines)
+}
+
+// BroadcastScatterAllgather runs the RCCE_comm scatter-allgather baseline.
+func (c *Core) BroadcastScatterAllgather(root, addr, lines int) {
+	c.comm.BcastScatterAllgather(root, addr, lines)
+}
+
+// BroadcastScatterAllgatherOneSided runs the §5.4 one-sided adaptation of
+// scatter-allgather (overlapped ring exchanges).
+func (c *Core) BroadcastScatterAllgatherOneSided(root, addr, lines int) {
+	c.comm.BcastScatterAllgatherOneSided(root, addr, lines)
+}
+
+// Send/Recv are RCCE-style two-sided point-to-point operations.
+func (c *Core) Send(dst, addr, lines int) { c.port.Send(dst, addr, lines) }
+
+// Recv receives `lines` cache lines from src into private memory at addr.
+func (c *Core) Recv(src, addr, lines int) { c.port.Recv(src, addr, lines) }
+
+// Barrier synchronizes all cores.
+func (c *Core) Barrier() { c.port.Barrier() }
+
+// Announce starts an MPMD broadcast from this core: receivers need not
+// know the arguments — the activation tree delivers a descriptor and an
+// inter-core interrupt to every core (the paper's §7 ongoing work).
+func (c *Core) Announce(addr, lines int) { c.bc.Announce(addr, lines) }
+
+// HandleAnnounce blocks until an MPMD broadcast activates this core,
+// participates, and returns the delivered (root, addr, lines) — what a
+// many-core OS service loop would call.
+func (c *Core) HandleAnnounce() (root, addr, lines int) { return c.bc.HandleAnnounce() }
+
+// WriteOwnPrivate stores bytes into this core's private memory at addr
+// without charging communication time (data preparation; charge compute
+// separately if the store pass matters).
+func (c *Core) WriteOwnPrivate(addr int, data []byte) {
+	c.rma.Chip().Private(c.ID()).Write(addr, data)
+}
+
+// ReadOwnPrivate copies n bytes from this core's private memory at addr.
+func (c *Core) ReadOwnPrivate(addr, n int) []byte {
+	out := make([]byte, n)
+	c.rma.Chip().Private(c.ID()).Read(out, addr, n)
+	return out
+}
+
+// The one-sided RMA primitives underneath everything (paper §2.2): put
+// and get move cache lines between private memory and MPBs. Line indices
+// address the target MPB (0..255); addresses are 32-byte-aligned private
+// memory byte offsets.
+
+// PutToMPB copies `lines` cache lines from this core's private memory at
+// srcAddr into core dst's MPB starting at line dstLine (RCCE put).
+func (c *Core) PutToMPB(dst, dstLine, srcAddr, lines int) {
+	c.rma.PutMemToMPB(dst, dstLine, srcAddr, lines)
+}
+
+// GetFromMPB copies `lines` cache lines from core src's MPB starting at
+// srcLine into this core's private memory at dstAddr (RCCE get).
+func (c *Core) GetFromMPB(src, srcLine, dstAddr, lines int) {
+	c.rma.GetMPBToMem(src, srcLine, dstAddr, lines)
+}
+
+// GetToOwnMPB copies `lines` cache lines from core src's MPB into this
+// core's own MPB — the hop OC-Bcast pipelines down its tree.
+func (c *Core) GetToOwnMPB(src, srcLine, dstLine, lines int) {
+	c.rma.GetMPBToMPB(src, srcLine, dstLine, lines)
+}
+
+// Reduce, AllReduce, Gather and AllGather are the extension collectives
+// (§7 future work); see collectives.go.
+
+// Model returns the paper's analytical model for the given parameters
+// (Table 1 when p is nil).
+func Model(p *scc.Params) model.Model {
+	if p == nil {
+		return model.New(scc.Table1())
+	}
+	return model.New(*p)
+}

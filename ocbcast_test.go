@@ -1,0 +1,147 @@
+package ocbcast_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	ocbcast "repro"
+)
+
+func payload(lines int) []byte {
+	b := make([]byte, lines*ocbcast.CacheLineBytes)
+	for i := range b {
+		b[i] = byte(i*17 + 3)
+	}
+	return b
+}
+
+func TestPublicBroadcast(t *testing.T) {
+	sys := ocbcast.New(ocbcast.Options{})
+	if sys.N() != ocbcast.MaxCores {
+		t.Fatalf("default cores = %d, want %d", sys.N(), ocbcast.MaxCores)
+	}
+	const lines = 100
+	p := payload(lines)
+	sys.WritePrivate(0, 0, p)
+	sys.Run(func(c *ocbcast.Core) {
+		c.Broadcast(0, 0, lines)
+	})
+	for i := 0; i < sys.N(); i++ {
+		if !bytes.Equal(sys.ReadPrivate(i, 0, len(p)), p) {
+			t.Fatalf("core %d payload corrupted", i)
+		}
+	}
+	// Counters are exposed: root read the message once from off-chip.
+	if got := sys.Counters(0).MemReadLines; got != lines {
+		t.Fatalf("root off-chip reads = %d, want %d", got, lines)
+	}
+}
+
+func TestPublicBaselinesAndOptions(t *testing.T) {
+	for _, alg := range []string{"binomial", "sag"} {
+		sys := ocbcast.New(ocbcast.Options{Cores: 16, K: 3, DisableContention: true})
+		const lines = 60
+		p := payload(lines)
+		sys.WritePrivate(5, 0, p)
+		sys.Run(func(c *ocbcast.Core) {
+			if alg == "binomial" {
+				c.BroadcastBinomial(5, 0, lines)
+			} else {
+				c.BroadcastScatterAllgather(5, 0, lines)
+			}
+		})
+		for i := 0; i < 16; i++ {
+			if !bytes.Equal(sys.ReadPrivate(i, 0, len(p)), p) {
+				t.Fatalf("%s: core %d corrupted", alg, i)
+			}
+		}
+	}
+}
+
+func TestPublicSendRecvBarrier(t *testing.T) {
+	sys := ocbcast.New(ocbcast.Options{Cores: 4})
+	p := payload(10)
+	sys.WritePrivate(1, 0, p)
+	var t3after float64
+	sys.Run(func(c *ocbcast.Core) {
+		switch c.ID() {
+		case 1:
+			c.Compute(5)
+			c.Send(3, 0, 10)
+		case 3:
+			c.Recv(1, 0, 10)
+		}
+		c.Barrier()
+		if c.ID() == 0 {
+			t3after = c.NowMicros()
+		}
+	})
+	if !bytes.Equal(sys.ReadPrivate(3, 0, len(p)), p) {
+		t.Fatal("send/recv corrupted")
+	}
+	if t3after < 5 {
+		t.Fatalf("barrier released core 0 at %.2fµs, before the transfer could finish", t3after)
+	}
+}
+
+func TestPublicAllReduce(t *testing.T) {
+	const n, lines = 8, 2
+	sys := ocbcast.New(ocbcast.Options{Cores: n})
+	for i := 0; i < n; i++ {
+		b := make([]byte, lines*ocbcast.CacheLineBytes)
+		for lane := 0; lane*8 < len(b); lane++ {
+			binary.LittleEndian.PutUint64(b[lane*8:], uint64(i+1))
+		}
+		sys.WritePrivate(i, 0, b)
+	}
+	sys.Run(func(c *ocbcast.Core) {
+		c.AllReduce(0, 4096, lines, ocbcast.SumInt64)
+	})
+	want := uint64(n * (n + 1) / 2)
+	for i := 0; i < n; i++ {
+		b := sys.ReadPrivate(i, 0, lines*ocbcast.CacheLineBytes)
+		for lane := 0; lane*8 < len(b); lane++ {
+			if got := binary.LittleEndian.Uint64(b[lane*8:]); got != want {
+				t.Fatalf("core %d lane %d = %d, want %d", i, lane, got, want)
+			}
+		}
+	}
+}
+
+func TestPublicGatherScatterAllGather(t *testing.T) {
+	const n, lines = 6, 1
+	bb := lines * ocbcast.CacheLineBytes
+	sys := ocbcast.New(ocbcast.Options{Cores: n})
+	for i := 0; i < n; i++ {
+		blk := payload(lines)
+		blk[0] = byte(i)
+		sys.WritePrivate(i, i*bb, blk)
+	}
+	sys.Run(func(c *ocbcast.Core) {
+		c.Gather(0, 0, lines)
+		c.Barrier()
+		c.AllGather(8192, lines) // independent region
+	})
+	for i := 0; i < n; i++ {
+		if got := sys.ReadPrivate(0, i*bb, 1)[0]; got != byte(i) {
+			t.Fatalf("gather: root block %d header = %d", i, got)
+		}
+	}
+}
+
+func TestPublicModel(t *testing.T) {
+	m := ocbcast.Model(nil)
+	if got := m.CMpbR(1).Microseconds(); got != 0.136 {
+		t.Fatalf("model CMpbR(1) = %v, want 0.136", got)
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid options did not panic")
+		}
+	}()
+	ocbcast.New(ocbcast.Options{K: -1})
+}
