@@ -166,6 +166,32 @@ func BenchmarkAblationBuffering(b *testing.B) {
 	b.ReportMetric(single, "µs-single@192CL")
 }
 
+// BenchmarkFigAllReduce measures the §7-extension headline: one-sided
+// OC-AllReduce vs the two-sided Reduce+Bcast composition at 8 KiB on 48
+// cores (fig-allreduce's acceptance point).
+func BenchmarkFigAllReduce(b *testing.B) {
+	var oc, two float64
+	for i := 0; i < b.N; i++ {
+		const lines = 256 // 8 KiB
+		oc = harness.MeanAllReduce(cfg(), harness.VariantOC, 7, scc.NumCores, lines, 2)
+		two = harness.MeanAllReduce(cfg(), harness.VariantTwoSided, 7, scc.NumCores, lines, 2)
+	}
+	b.ReportMetric(oc, "µs-oc-allreduce-8KiB")
+	b.ReportMetric(two, "µs-twosided-8KiB")
+	b.ReportMetric(two/oc, "speedup")
+}
+
+// BenchmarkOCReduceModel reports the closed-form OC-Reduce prediction the
+// simulation is cross-validated against (within 15%).
+func BenchmarkOCReduceModel(b *testing.B) {
+	var v float64
+	for i := 0; i < b.N; i++ {
+		mdl := model.New(cfg().Params)
+		v = mdl.OCReduceLatency(model.DefaultReduceParams(), 256, 7).Microseconds()
+	}
+	b.ReportMetric(v, "µs-model-reduce-k7@8KiB")
+}
+
 // BenchmarkEngineThroughput measures raw simulator speed: simulated
 // broadcast events per wall second for a 96-CL OC-Bcast on 48 cores.
 func BenchmarkEngineThroughput(b *testing.B) {

@@ -6,6 +6,7 @@
 //	ocbench list                 # show available experiments
 //	ocbench all                  # run everything
 //	ocbench fig8a fig8b table2   # run specific artifacts
+//	ocbench fig-allreduce        # one-sided vs two-sided allreduce (§7)
 //
 // Flags:
 //

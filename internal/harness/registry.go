@@ -65,6 +65,12 @@ func Registry() []Experiment {
 			},
 		},
 		{
+			Name: "fig-allreduce", Desc: "allreduce latency: one-sided vs two-sided (§7 extension)",
+			Run: func(cfg scc.Config, effort int) ([]*Table, error) {
+				return []*Table{FigAllReduce(cfg, effort)}, nil
+			},
+		},
+		{
 			Name: "mesh", Desc: "mesh link stress: no NoC contention (§3.3)",
 			Run: func(cfg scc.Config, effort int) ([]*Table, error) {
 				return []*Table{MeshStress(cfg, 10*effort)}, nil

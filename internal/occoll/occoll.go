@@ -1,0 +1,176 @@
+// Package occoll extends the paper's OC-Bcast technique — pipelined k-ary
+// trees over one-sided MPB RMA — to the remaining collectives its §7
+// names as future work: reduce, allreduce, scatter, gather and allgather.
+// Where the two-sided RCCE-based extensions in internal/collective pay a
+// synchronous flag handshake and an off-chip round trip per hop, every
+// operation here moves data with one-sided puts/gets between MPBs and
+// combines reduction chunks directly in the MPBs (rma.GetMPBCombine), the
+// same way OC-Bcast forwards broadcast chunks.
+//
+// All operations share one propagation tree (core.BuildTree) and are
+// parameterized by the same Config as OC-Bcast: fan-out K, chunk size
+// BufLines (Moc) and DoubleBuffer. Data chunks live in the same MPB
+// buffer region as OC-Bcast's; occoll's synchronization flags occupy a
+// dedicated line block placed after OC-Bcast's flags and below the RCCE
+// layer's lines, so the three families can coexist on one chip.
+//
+// Every operation is a chip-wide collective: all cores must call it with
+// matching arguments (MPI style). An operation starts by zeroing the
+// core's own occoll flag lines and running a barrier, which makes it safe
+// to interleave occoll operations with OC-Bcast broadcasts and RCCE
+// two-sided traffic that scribble over the shared MPB region; it ends
+// fully drained (no peer still reads this core's MPB), so the other
+// families are safe to run afterwards.
+package occoll
+
+import (
+	"fmt"
+
+	"repro/internal/collective"
+	"repro/internal/core"
+	"repro/internal/rcce"
+	"repro/internal/rma"
+	"repro/internal/scc"
+)
+
+// Config re-uses OC-Bcast's configuration: K, BufLines and DoubleBuffer
+// have identical meaning (the extra occast-only ablation fields are
+// ignored here).
+type Config = core.Config
+
+// ReduceOp combines src into dst; see collective.ReduceOp.
+type ReduceOp = collective.ReduceOp
+
+// Flag-line layout. OC-Bcast occupies [0, nb·BufLines) for data plus
+// 1+K flag lines; occoll's flags follow immediately:
+//
+//	dnNotify            1 line   down direction: chunk available at parent
+//	dnDone[K]           K lines  down direction: child i consumed chunk
+//	upReady[K]          K lines  up direction: child i staged chunk
+//	upConsumed          1 line   up direction: parent consumed my chunk
+//
+// The block must stay below line 251: the RCCE layer owns 251..255
+// (barrier + send/recv handshake) and the MPMD descriptor line is 252.
+const maxFlagLine = 250
+
+func flagBase(c Config) int {
+	nb := 1
+	if c.DoubleBuffer {
+		nb = 2
+	}
+	return nb*c.BufLines + 1 + c.K
+}
+
+// Validate reports whether the MPB layout fits: OC-Bcast's buffers and
+// flags plus occoll's 2K+2 flag lines within lines 0..250.
+func Validate(c Config) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	if top := flagBase(c) + 2*c.K + 1; top > maxFlagLine {
+		return fmt.Errorf("occoll: layout needs flag lines up to %d, only 0..%d available (reduce BufLines or K)",
+			top, maxFlagLine)
+	}
+	return nil
+}
+
+// Collectives holds a core's one-sided collective state. Create one per
+// core inside Chip.Run, sharing the core's rcce.Port so barrier epochs
+// stay aligned with the program's own Barrier calls.
+type Collectives struct {
+	core *rma.Core
+	port *rcce.Port
+	cfg  Config
+}
+
+// New prepares one-sided collective state for one core. It panics on a
+// configuration whose MPB layout does not fit (a programming error, like
+// core.NewBroadcaster).
+func New(c *rma.Core, port *rcce.Port, cfg Config) *Collectives {
+	if err := Validate(cfg); err != nil {
+		panic(err)
+	}
+	return &Collectives{core: c, port: port, cfg: cfg}
+}
+
+// numBuffers reports 2 with double buffering, else 1.
+func (x *Collectives) numBuffers() int {
+	if x.cfg.DoubleBuffer {
+		return 2
+	}
+	return 1
+}
+
+// bufLine maps a chunk/transfer index to its MPB slot's first line.
+func (x *Collectives) bufLine(i int) int { return (i % x.numBuffers()) * x.cfg.BufLines }
+
+func (x *Collectives) dnNotifyLine() int     { return flagBase(x.cfg) }
+func (x *Collectives) dnDoneLine(i int) int  { return flagBase(x.cfg) + 1 + i }
+func (x *Collectives) upReadyLine(i int) int { return flagBase(x.cfg) + 1 + x.cfg.K + i }
+func (x *Collectives) upConsumedLine() int   { return flagBase(x.cfg) + 1 + 2*x.cfg.K }
+
+// begin validates the collective's arguments, quiesces the chip and
+// resets this core's occoll flag lines, so per-operation sequence numbers
+// can restart at 1 regardless of what ran before. It returns this core's
+// tree node. ok is false for the trivial 1-core chip.
+func (x *Collectives) begin(root, addr, lines int) (t core.Tree, ok bool) {
+	c := x.core
+	p := c.N()
+	if lines <= 0 {
+		panic(fmt.Sprintf("occoll: non-positive message size %d", lines))
+	}
+	if addr%scc.CacheLine != 0 {
+		panic(fmt.Sprintf("occoll: address %d not cache-line aligned", addr))
+	}
+	if root < 0 || root >= p {
+		panic(fmt.Sprintf("occoll: root %d out of range [0,%d)", root, p))
+	}
+	if p == 1 {
+		return core.Tree{P: 1}, false
+	}
+	// Zero my flag lines BEFORE the barrier: at this point nothing is in
+	// flight toward them (the previous occoll operation drained, and
+	// non-occoll writers — e.g. a large RCCE send staging over this
+	// region — complete synchronously), and no peer re-enters the
+	// protocol until it passes the barrier below.
+	var zero [scc.CacheLine]byte
+	for l := flagBase(x.cfg); l <= flagBase(x.cfg)+2*x.cfg.K+1; l++ {
+		c.WriteLocalLine(l, zero[:])
+	}
+	// The barrier guarantees every core finished all earlier collectives
+	// — no stale reader of this core's MPB buffers survives it.
+	x.port.Barrier()
+	return core.BuildTree(c.ID(), root, p, x.cfg.K), true
+}
+
+// chunkSpan returns the line count of chunk ch out of `lines` total.
+func (x *Collectives) chunkSpan(ch, lines int) int {
+	m := lines - ch*x.cfg.BufLines
+	if m > x.cfg.BufLines {
+		m = x.cfg.BufLines
+	}
+	return m
+}
+
+// nchunks is the number of BufLines-sized chunks covering `lines`.
+func (x *Collectives) nchunks(lines int) int {
+	return (lines + x.cfg.BufLines - 1) / x.cfg.BufLines
+}
+
+// preorderRanks appends the DFS preorder of the subtree rooted at rank r
+// (for p cores, fan-out k) to out. Parent and child compute identical
+// orders, which defines the block order of scatter/gather edge streams.
+func preorderRanks(r, p, k int, out []int) []int {
+	out = append(out, r)
+	for j := 1; j <= k; j++ {
+		cr := r*k + j
+		if cr >= p {
+			break
+		}
+		out = preorderRanks(cr, p, k, out)
+	}
+	return out
+}
+
+// rankID maps a rank back to a core id for root s on p cores.
+func rankID(rank, s, p int) int { return (s + rank) % p }

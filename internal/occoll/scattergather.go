@@ -1,0 +1,162 @@
+package occoll
+
+import (
+	"repro/internal/core"
+	"repro/internal/scc"
+)
+
+// Scatter distributes P `lines`-line blocks from the root: core i ends up
+// with the block stored at addr + i·lines·32 in the root's private
+// memory, at the same address in its own memory. The blocks travel down
+// the k-ary tree store-and-forward: each node receives its whole
+// subtree's blocks through its parent's MPB (double-buffered, pipelined),
+// then streams each child's subtree onward from private memory. Interior
+// nodes hold their descendants' blocks afterwards, like the two-sided
+// recursive-halving scatter.
+func (x *Collectives) Scatter(root, addr, lines int) {
+	t, ok := x.begin(root, addr, lines)
+	if !ok {
+		return
+	}
+	if t.Rank != 0 {
+		x.recvSubtree(t, addr, lines)
+	}
+	x.streamDown(t, addr, lines)
+}
+
+// Gather collects each core's `lines`-line block onto the root: core i's
+// block ends up at addr + i·lines·32 in the root's private memory. The
+// mirror of Scatter: each node first collects its children's subtree
+// streams into final addresses, then streams its own subtree (its block
+// first, descendants after, DFS order) up through its own MPB.
+func (x *Collectives) Gather(root, addr, lines int) {
+	t, ok := x.begin(root, addr, lines)
+	if !ok {
+		return
+	}
+	x.gatherUp(t, addr, lines)
+}
+
+// AllGather exchanges every core's block so all cores hold all P blocks,
+// id-ordered at addr: an OC-Gather onto core 0 fused with an OC-Bcast of
+// the concatenated P·lines result down the same tree.
+func (x *Collectives) AllGather(addr, lines int) {
+	t, ok := x.begin(0, addr, lines)
+	if !ok {
+		return
+	}
+	x.gatherUp(t, addr, lines)
+	x.bcastDown(t, addr, lines*t.P)
+}
+
+// recvSubtree receives this node's subtree blocks from its parent, block
+// by block in DFS preorder, each block chunked through the parent's
+// double-buffered MPB slots and written to its final private address.
+// Transfer sequence numbers are per-edge and 1-based; slot rotation
+// follows the transfer index, so both ends agree without negotiation.
+func (x *Collectives) recvSubtree(t core.Tree, addr, lines int) {
+	c, cfg := x.core, x.cfg
+	nb := uint64(x.numBuffers())
+	blockBytes := lines * scc.CacheLine
+	var tr uint64
+	for _, r := range preorderRanks(t.Rank, t.P, t.K, nil) {
+		blockA := addr + rankID(r, t.Root, t.P)*blockBytes
+		for chk := 0; chk < x.nchunks(lines); chk++ {
+			m := x.chunkSpan(chk, lines)
+			slot := int(tr % nb)
+			tr++
+			c.WaitFlagGE(x.dnNotifyLine(), tr)
+			c.GetMPBToMem(t.Parent, slot*cfg.BufLines, blockA+chk*cfg.BufLines*scc.CacheLine, m)
+			c.SetFlag(t.Parent, x.dnDoneLine(t.ChildIdx), tr)
+		}
+	}
+}
+
+// streamDown stages each child's subtree blocks (DFS preorder) from this
+// node's private memory into its MPB slots and notifies the child, which
+// pulls them with one-sided gets. Slots are shared across the per-child
+// streams; an occupancy table delays each staging until the slot's
+// previous occupant was consumed, and a final drain leaves the MPB free.
+func (x *Collectives) streamDown(t core.Tree, addr, lines int) {
+	if t.IsLeaf() {
+		return
+	}
+	c, cfg := x.core, x.cfg
+	nb := x.numBuffers()
+	blockBytes := lines * scc.CacheLine
+	type occupant struct {
+		childIdx int
+		seq      uint64
+	}
+	used := make([]occupant, nb)
+
+	for i, child := range t.Children {
+		childRank := t.Rank*t.K + 1 + i
+		var tc uint64
+		for _, r := range preorderRanks(childRank, t.P, t.K, nil) {
+			blockA := addr + rankID(r, t.Root, t.P)*blockBytes
+			for chk := 0; chk < x.nchunks(lines); chk++ {
+				m := x.chunkSpan(chk, lines)
+				s := int(tc % uint64(nb))
+				tc++
+				if used[s].seq > 0 {
+					c.WaitFlagGE(x.dnDoneLine(used[s].childIdx), used[s].seq)
+				}
+				c.PutMemToMPB(c.ID(), s*cfg.BufLines, blockA+chk*cfg.BufLines*scc.CacheLine, m)
+				c.SetFlag(child, x.dnNotifyLine(), tc)
+				used[s] = occupant{childIdx: i, seq: tc}
+			}
+		}
+	}
+	for s := range used {
+		if used[s].seq > 0 {
+			c.WaitFlagGE(x.dnDoneLine(used[s].childIdx), used[s].seq)
+		}
+	}
+}
+
+// gatherUp collects each child's subtree stream into final private
+// addresses with one-sided gets from the child's MPB, then (non-root)
+// streams this node's own subtree up through its MPB slots for the
+// parent. The trailing upConsumed wait drains the slots before return.
+func (x *Collectives) gatherUp(t core.Tree, addr, lines int) {
+	c, cfg := x.core, x.cfg
+	nb := uint64(x.numBuffers())
+	blockBytes := lines * scc.CacheLine
+
+	for i, child := range t.Children {
+		childRank := t.Rank*t.K + 1 + i
+		var tc uint64
+		for _, r := range preorderRanks(childRank, t.P, t.K, nil) {
+			blockA := addr + rankID(r, t.Root, t.P)*blockBytes
+			for chk := 0; chk < x.nchunks(lines); chk++ {
+				m := x.chunkSpan(chk, lines)
+				s := int(tc % nb)
+				tc++
+				c.WaitFlagGE(x.upReadyLine(i), tc)
+				c.GetMPBToMem(child, s*cfg.BufLines, blockA+chk*cfg.BufLines*scc.CacheLine, m)
+				c.SetFlag(child, x.upConsumedLine(), tc)
+			}
+		}
+	}
+	if t.Rank == 0 {
+		return
+	}
+	var tc uint64
+	for _, r := range preorderRanks(t.Rank, t.P, t.K, nil) {
+		blockA := addr + rankID(r, t.Root, t.P)*blockBytes
+		for chk := 0; chk < x.nchunks(lines); chk++ {
+			m := x.chunkSpan(chk, lines)
+			s := int(tc % nb)
+			tc++
+			if tc > nb {
+				c.WaitFlagGE(x.upConsumedLine(), tc-nb)
+			}
+			c.PutMemToMPB(c.ID(), s*cfg.BufLines, blockA+chk*cfg.BufLines*scc.CacheLine, m)
+			c.SetFlag(t.Parent, x.upReadyLine(t.ChildIdx), tc)
+		}
+	}
+	if tc > 0 {
+		c.WaitFlagGE(x.upConsumedLine(), tc)
+	}
+}

@@ -266,6 +266,61 @@ func (c *Core) GetMPBToMPB(src, srcLine, dstLine, m int) {
 	ctr.GetOps++
 }
 
+// GetMPBCombine reads m cache lines from core src's MPB starting at
+// srcLine and folds them into the same-size region of this core's own MPB
+// at dstLine via combine(dst, src) — the reduction analogue of Formula
+// 11's get: each line costs a remote read C^mpb_r(dsrc), a local
+// accumulator read C^mpb_r(1) and a local write-back C^mpb_w(1). The
+// reduction arithmetic itself is NOT charged here; callers account for it
+// separately (one compute pass over the data), keeping the primitive's
+// cost purely communicational like the other ops.
+func (c *Core) GetMPBCombine(src, srcLine, dstLine, m int, combine func(dst, src []byte)) {
+	checkLines(m)
+	p := c.chip.Cfg.Params
+	d := c.distMPB(src)
+	t0 := c.Now()
+	own, rem := c.chip.MPB(c.id), c.chip.MPB(src)
+
+	srcPort := c.reservePort(src, t0, m, false)
+	// The local MPB port serves both the accumulator reads and the
+	// write-backs: 2m line accesses.
+	ownPortR := c.reservePort(c.id, t0, m, false)
+	ownPortW := c.reservePort(c.id, t0, m, true)
+	mesh := c.meshTraverse(t0, scc.CoreCoord(src), scc.CoreCoord(c.id), m)
+
+	t := t0 + p.OMpbGet
+	theirs := make([]byte, scc.CacheLine)
+	mine := make([]byte, scc.CacheLine)
+	effs := make([]sim.Time, m)
+	bufs := make([][]byte, m)
+	for i := 0; i < m; i++ {
+		t += c.CMpbR(d)
+		rem.ReadInto(theirs, srcLine+i, t)
+		t += c.CMpbR(1)
+		own.ReadInto(mine, dstLine+i, t)
+		combine(mine, theirs)
+		eff := t + c.LMpbW(1)
+		t += c.CMpbW(1)
+		effs[i] = eff
+		bufs[i] = append([]byte(nil), mine...)
+	}
+	port := srcPort
+	if ownPortR > port {
+		port = ownPortR
+	}
+	if ownPortW > port {
+		port = ownPortW
+	}
+	delay := c.finishOp(t, port, sim.Duration(d)*p.Lhop, mesh)
+	for i := 0; i < m; i++ {
+		own.WriteLine(dstLine+i, bufs[i], effs[i]+delay)
+	}
+	ctr := c.counters()
+	ctr.MPBReadLines += int64(2 * m)
+	ctr.MPBWriteLines += int64(m)
+	ctr.GetOps++
+}
+
 // GetMPBToMem copies m cache lines from core src's MPB into this core's
 // private off-chip memory at byte address dstAddr (32-byte aligned).
 // Cost: Formula 12,

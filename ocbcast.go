@@ -2,11 +2,18 @@
 // Broadcast on the Intel SCC" (Petrović, Shahmirzadi, Ropars, Schiper —
 // SPAA 2012). It provides a cycle-accurate-style discrete-event model of
 // the Intel Single-Chip Cloud Computer — 48 cores, 2D-mesh NoC, per-core
-// Message Passing Buffers with RMA put/get — and, on top of it, OC-Bcast
-// (the paper's pipelined k-ary tree broadcast over one-sided
-// communication) together with the RCCE_comm baselines it was evaluated
-// against (binomial tree and scatter-allgather over two-sided
-// send/receive) and further collectives.
+// Message Passing Buffers with RMA put/get — and, on top of it, two
+// complete collective families:
+//
+//   - the one-sided family: OC-Bcast (the paper's pipelined k-ary tree
+//     broadcast over one-sided RMA) and its §7 extensions ReduceOC,
+//     AllReduceOC, ScatterOC, GatherOC and AllGatherOC, which pipeline
+//     chunks through the MPBs with one-sided gets and combine reduction
+//     chunks directly in the MPBs;
+//   - the two-sided family: the RCCE_comm baselines the paper evaluated
+//     against (binomial tree and scatter-allgather broadcast over
+//     two-sided send/receive) plus Reduce, AllReduce, Gather, Scatter
+//     and AllGather on the same synchronous substrate.
 //
 // The basic usage pattern is SPMD, mirroring programming the real SCC:
 //
@@ -23,9 +30,12 @@
 package ocbcast
 
 import (
+	"fmt"
+
 	"repro/internal/collective"
 	occore "repro/internal/core"
 	"repro/internal/model"
+	"repro/internal/occoll"
 	"repro/internal/rcce"
 	"repro/internal/rma"
 	"repro/internal/scc"
@@ -120,23 +130,42 @@ func (s *System) Counters(core int) trace.CoreCounters {
 // time. A System supports a single Run; build a new System per
 // simulation.
 func (s *System) Run(body func(c *Core)) {
+	colErr := occoll.Validate(s.occfg)
 	s.chip.Run(func(rc *rma.Core) {
 		port := rcce.NewPort(rc)
-		body(&Core{
-			rma:  rc,
-			port: port,
-			comm: collective.NewComm(port),
-			bc:   occore.NewBroadcaster(rc, s.occfg),
-		})
+		c := &Core{
+			rma:    rc,
+			port:   port,
+			comm:   collective.NewComm(port),
+			bc:     occore.NewBroadcaster(rc, s.occfg),
+			colErr: colErr,
+		}
+		if colErr == nil {
+			c.col = occoll.New(rc, port, s.occfg)
+		}
+		body(c)
 	})
 }
 
 // Core is the per-core handle available inside Run.
 type Core struct {
-	rma  *rma.Core
-	port *rcce.Port
-	comm *collective.Comm
-	bc   *occore.Broadcaster
+	rma    *rma.Core
+	port   *rcce.Port
+	comm   *collective.Comm
+	bc     *occore.Broadcaster
+	col    *occoll.Collectives
+	colErr error
+}
+
+// occ returns the one-sided collective state, panicking with the layout
+// error when the configured (K, ChunkLines) leave no MPB room for
+// occoll's flag block — OC-Bcast alone admits larger fan-outs than the
+// full one-sided family does.
+func (c *Core) occ() *occoll.Collectives {
+	if c.col == nil {
+		panic(fmt.Sprintf("ocbcast: one-sided collectives unavailable: %v", c.colErr))
+	}
+	return c.col
 }
 
 // ID reports the core id (0..N-1); N reports the core count.
@@ -231,8 +260,10 @@ func (c *Core) GetToOwnMPB(src, srcLine, dstLine, lines int) {
 	c.rma.GetMPBToMPB(src, srcLine, dstLine, lines)
 }
 
-// Reduce, AllReduce, Gather and AllGather are the extension collectives
-// (§7 future work); see collectives.go.
+// The extension collectives (§7 future work) live in collectives.go, in
+// two families: Reduce/AllReduce/Gather/Scatter/AllGather on the
+// two-sided RCCE substrate, and ReduceOC/AllReduceOC/GatherOC/ScatterOC/
+// AllGatherOC on the one-sided pipelined substrate (internal/occoll).
 
 // Model returns the paper's analytical model for the given parameters
 // (Table 1 when p is nil).

@@ -130,6 +130,133 @@ func TestPublicGatherScatterAllGather(t *testing.T) {
 	}
 }
 
+// randPayload is a deterministic pseudo-random buffer (seeded per core).
+func randPayload(lines, seed int) []byte {
+	b := make([]byte, lines*ocbcast.CacheLineBytes)
+	s := uint64(seed)*2654435761 + 12345
+	for i := range b {
+		s = s*6364136223846793005 + 1442695040888963407
+		b[i] = byte(s >> 56)
+	}
+	return b
+}
+
+// TestAllReduceOCMatchesTwoSidedComposition cross-validates the one-sided
+// subsystem: AllReduceOC must produce byte-for-byte the same result as
+// the two-sided Reduce + broadcast composition, on random payloads, for
+// several fan-outs — exercised on ONE chip so the families' MPB
+// coexistence is covered too.
+func TestAllReduceOCMatchesTwoSidedComposition(t *testing.T) {
+	for _, k := range []int{2, 3, 7} {
+		const lines = 13
+		nbytes := lines * ocbcast.CacheLineBytes
+		const regionA, regionB, scratch = 0, 1 << 16, 1 << 17
+		sys := ocbcast.New(ocbcast.Options{K: k})
+		for i := 0; i < sys.N(); i++ {
+			p := randPayload(lines, 100*k+i)
+			sys.WritePrivate(i, regionA, p)
+			sys.WritePrivate(i, regionB, p)
+		}
+		sys.Run(func(c *ocbcast.Core) {
+			c.AllReduceOC(regionA, lines, ocbcast.SumInt64)
+			// Two-sided composition on identical inputs, same chip.
+			c.Reduce(0, regionB, scratch, lines, ocbcast.SumInt64)
+			c.BroadcastBinomial(0, regionB, lines)
+		})
+		for i := 0; i < sys.N(); i++ {
+			a := sys.ReadPrivate(i, regionA, nbytes)
+			b := sys.ReadPrivate(i, regionB, nbytes)
+			if !bytes.Equal(a, b) {
+				t.Fatalf("k=%d: core %d AllReduceOC differs from two-sided composition", k, i)
+			}
+		}
+	}
+}
+
+// TestPublicOneSidedGatherScatter covers the remaining OC family members
+// end to end through the public API.
+func TestPublicOneSidedGatherScatter(t *testing.T) {
+	const n, lines = 12, 3
+	bb := lines * ocbcast.CacheLineBytes
+	sys := ocbcast.New(ocbcast.Options{Cores: n, K: 3})
+	for i := 0; i < n; i++ {
+		sys.WritePrivate(2, i*bb, randPayload(lines, i))
+	}
+	agBase := 2 * n * bb
+	sys.Run(func(c *ocbcast.Core) {
+		c.ScatterOC(2, 0, lines)
+		blk := c.ReadOwnPrivate(c.ID()*bb, bb)
+		c.WriteOwnPrivate(agBase+c.ID()*bb, blk)
+		c.AllGatherOC(agBase, lines)
+		c.GatherOC(7, agBase, lines) // idempotent on already-complete data
+	})
+	for i := 0; i < n; i++ {
+		want := randPayload(lines, i)
+		for cid := 0; cid < n; cid++ {
+			if !bytes.Equal(sys.ReadPrivate(cid, agBase+i*bb, bb), want) {
+				t.Fatalf("core %d allgather block %d mismatch", cid, i)
+			}
+		}
+	}
+}
+
+// TestVirtualTimeDeterminism: repeated identical simulations must yield
+// identical virtual-time results (the simulator's core guarantee), for
+// several fan-outs.
+func TestVirtualTimeDeterminism(t *testing.T) {
+	for _, k := range []int{2, 3, 7} {
+		const lines = 9
+		runOnce := func() ([]float64, []byte) {
+			sys := ocbcast.New(ocbcast.Options{K: k})
+			times := make([]float64, sys.N())
+			for i := 0; i < sys.N(); i++ {
+				sys.WritePrivate(i, 0, randPayload(lines, i))
+			}
+			sys.Run(func(c *ocbcast.Core) {
+				c.AllReduceOC(0, lines, ocbcast.SumInt64)
+				c.ReduceOC(5, 0, lines, ocbcast.MaxInt64)
+				times[c.ID()] = c.NowMicros()
+			})
+			return times, sys.ReadPrivate(5, 0, lines*ocbcast.CacheLineBytes)
+		}
+		t1, r1 := runOnce()
+		t2, r2 := runOnce()
+		for i := range t1 {
+			if t1[i] != t2[i] {
+				t.Fatalf("k=%d: core %d virtual time differs across runs: %v vs %v", k, i, t1[i], t2[i])
+			}
+		}
+		if !bytes.Equal(r1, r2) {
+			t.Fatalf("k=%d: results differ across runs", k)
+		}
+	}
+}
+
+// TestOneSidedLayoutError: fan-outs OC-Bcast alone supports but that
+// leave no MPB room for occoll's flags must fail loudly (and only when
+// the OC collectives are actually used).
+func TestOneSidedLayoutError(t *testing.T) {
+	sys := ocbcast.New(ocbcast.Options{Cores: 8, K: 24})
+	p := payload(4)
+	sys.WritePrivate(0, 0, p)
+	sys.Run(func(c *ocbcast.Core) {
+		c.Broadcast(0, 0, 4) // OC-Bcast itself still works at k=24
+		if c.ID() == 0 {
+			defer func() {
+				if recover() == nil {
+					t.Error("ReduceOC with oversized layout did not panic")
+				}
+			}()
+			c.ReduceOC(0, 0, 4, ocbcast.SumInt64)
+		}
+	})
+	for i := 0; i < sys.N(); i++ {
+		if !bytes.Equal(sys.ReadPrivate(i, 0, len(p)), p) {
+			t.Fatalf("core %d broadcast payload corrupted", i)
+		}
+	}
+}
+
 func TestPublicModel(t *testing.T) {
 	m := ocbcast.Model(nil)
 	if got := m.CMpbR(1).Microseconds(); got != 0.136 {
