@@ -194,10 +194,26 @@ func BenchmarkOCReduceModel(b *testing.B) {
 
 // BenchmarkEngineThroughput measures raw simulator speed: simulated
 // broadcast events per wall second for a 96-CL OC-Bcast on 48 cores.
+// Run with -benchmem: the hot-path contract is ~2.3k allocs/op (one
+// scratch/extent record per RMA op), not one allocation per cache line.
 func BenchmarkEngineThroughput(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		harness.MeanLatency(cfg(), harness.Alg{Name: "oc", K: 7}, scc.NumCores, 96, 1)
 	}
+}
+
+// BenchmarkSweepParallel measures the parallel experiment harness: a
+// Fig8a-style (size × algorithm) grid sharded across GOMAXPROCS workers
+// by MeanLatencyGrid, one independent chip per cell. Compare against
+// GOMAXPROCS=1 for the sharding speedup; simulated outputs are identical
+// either way (see harness.TestGoldenSequentialVsParallel).
+func BenchmarkSweepParallel(b *testing.B) {
+	cells := harness.DefaultSweepCells()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		harness.MeanLatencyGrid(cfg(), scc.NumCores, cells)
+	}
+	b.ReportMetric(float64(len(cells)), "cells")
 }
 
 func parseF(b *testing.B, s string) float64 {

@@ -7,6 +7,7 @@
 //	ocbench all                  # run everything
 //	ocbench fig8a fig8b table2   # run specific artifacts
 //	ocbench fig-allreduce        # one-sided vs two-sided allreduce (§7)
+//	ocbench perf                 # wall-clock simulator throughput -> BENCH_simperf.json
 //
 // Flags:
 //
@@ -50,6 +51,13 @@ func main() {
 		fmt.Println("available experiments:")
 		for _, e := range harness.Registry() {
 			fmt.Printf("  %-10s %s\n", e.Name, e.Desc)
+		}
+		fmt.Printf("  %-10s %s\n", "perf", "wall-clock simulator throughput -> BENCH_simperf.json")
+		return
+	case "perf":
+		if err := runPerf(cfg, *effort); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
 		return
 	case "all":

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/scc"
+)
+
+// simPerf is the schema of BENCH_simperf.json: the repo's wall-clock
+// simulator-throughput trajectory. Simulated microseconds are pinned by
+// the golden determinism tests; this file tracks how fast the simulator
+// produces them. Compare the file across commits to catch hot-path
+// regressions.
+type simPerf struct {
+	Timestamp  string `json:"timestamp"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Effort     int    `json:"effort"`
+
+	// Single-threaded hot path: one 96-CL OC-Bcast k=7 on 48 cores per
+	// simulation (the BenchmarkEngineThroughput workload).
+	BcastIters       int     `json:"bcast_iters"`
+	BcastMsPerSim    float64 `json:"bcast_ms_per_sim"`
+	BcastSimsPerSec  float64 `json:"bcast_sims_per_sec"`
+	AllocsPerBcast   float64 `json:"allocs_per_bcast"`
+	SimulatedUsBcast float64 `json:"simulated_us_bcast"`
+
+	// Parallel sweep harness: a Fig8a-style (size × algorithm) grid,
+	// sharded by ParallelMap vs forced-sequential execution of the same
+	// cells. On a 1-CPU host the speedup is ~1.0 by construction.
+	SweepCells        int     `json:"sweep_cells"`
+	SweepSequentialMs float64 `json:"sweep_sequential_ms"`
+	SweepParallelMs   float64 `json:"sweep_parallel_ms"`
+	SweepSpeedup      float64 `json:"sweep_speedup"`
+}
+
+// allocsPerRun reports the mean number of heap allocations per call to
+// f, like testing.AllocsPerRun but without linking the testing package
+// into the CLI. Mallocs from runtime.ReadMemStats is exact (it stops the
+// world), so warm-path runs yield a stable count.
+func allocsPerRun(runs int, f func() float64) float64 {
+	f() // warm caches, pools and lazily allocated state
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < runs; i++ {
+		f()
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(runs)
+}
+
+// runPerf measures wall-clock simulator throughput and writes the result
+// to BENCH_simperf.json in the current directory.
+func runPerf(cfg scc.Config, effort int) error {
+	bcast := func() float64 {
+		return harness.MeanLatency(cfg, harness.Alg{Name: "oc", K: 7}, scc.NumCores, 96, 1)
+	}
+
+	perf := simPerf{
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Effort:     effort,
+	}
+
+	// Single-simulation throughput and allocation footprint.
+	perf.BcastIters = 20 * effort
+	perf.SimulatedUsBcast = bcast() // warm-up; also records the simulated time
+	t0 := time.Now()
+	for i := 0; i < perf.BcastIters; i++ {
+		bcast()
+	}
+	wall := time.Since(t0)
+	perf.BcastMsPerSim = wall.Seconds() * 1e3 / float64(perf.BcastIters)
+	perf.BcastSimsPerSec = float64(perf.BcastIters) / wall.Seconds()
+	perf.AllocsPerBcast = allocsPerRun(5, bcast)
+
+	// Sweep harness: identical cells, sequential vs sharded. The grid is
+	// deliberately independent of -effort so the file stays comparable
+	// across commits.
+	cells := harness.DefaultSweepCells()
+	perf.SweepCells = len(cells)
+	t0 = time.Now()
+	seq := make([]float64, len(cells))
+	for i, c := range cells {
+		seq[i] = harness.MeanLatency(cfg, c.Alg, scc.NumCores, c.Lines, c.Reps)
+	}
+	perf.SweepSequentialMs = time.Since(t0).Seconds() * 1e3
+	t0 = time.Now()
+	par := harness.MeanLatencyGrid(cfg, scc.NumCores, cells)
+	perf.SweepParallelMs = time.Since(t0).Seconds() * 1e3
+	perf.SweepSpeedup = perf.SweepSequentialMs / perf.SweepParallelMs
+	for i := range cells {
+		if seq[i] != par[i] {
+			return fmt.Errorf("perf: determinism violation in cell %d: sequential %v µs != parallel %v µs",
+				i, seq[i], par[i])
+		}
+	}
+
+	out, err := json.MarshalIndent(perf, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_simperf.json", append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+
+	fmt.Printf(`simulator performance (wrote BENCH_simperf.json)
+  96-CL OC-Bcast k=7, 48 cores:  %.2f ms/simulation  (%.1f simulations/s)
+  allocations per simulation:    %.0f
+  sweep %d cells:                %.0f ms sequential, %.0f ms sharded (%.2fx, GOMAXPROCS=%d)
+`, perf.BcastMsPerSim, perf.BcastSimsPerSec, perf.AllocsPerBcast,
+		perf.SweepCells, perf.SweepSequentialMs, perf.SweepParallelMs,
+		perf.SweepSpeedup, perf.GOMAXPROCS)
+	return nil
+}

@@ -17,15 +17,19 @@ func TestModelSimulationCrossValidation(t *testing.T) {
 	cfg := scc.DefaultConfig()
 	mdl := model.New(cfg.Params)
 	bp := model.DefaultBcastParams()
+	var cells []LatencyCell
 	for _, k := range []int{2, 7} {
 		for _, lines := range []int{1, 16, 96, 192} {
-			sim := MeanLatency(cfg, Alg{Name: "oc", K: k}, scc.NumCores, lines, 2)
-			pred := mdl.OCBcastLatency(bp, lines, k).Microseconds()
-			ratio := sim / pred
-			if ratio < 0.9 || ratio > 1.8 {
-				t.Errorf("k=%d m=%d: sim %.2fµs vs model %.2fµs (ratio %.2f outside [0.9,1.8])",
-					k, lines, sim, pred, ratio)
-			}
+			cells = append(cells, LatencyCell{Alg: Alg{Name: "oc", K: k}, Lines: lines, Reps: 2})
+		}
+	}
+	sims := MeanLatencyGrid(cfg, scc.NumCores, cells)
+	for i, c := range cells {
+		pred := mdl.OCBcastLatency(bp, c.Lines, c.Alg.K).Microseconds()
+		ratio := sims[i] / pred
+		if ratio < 0.9 || ratio > 1.8 {
+			t.Errorf("k=%d m=%d: sim %.2fµs vs model %.2fµs (ratio %.2f outside [0.9,1.8])",
+				c.Alg.K, c.Lines, sims[i], pred, ratio)
 		}
 	}
 }
@@ -51,15 +55,19 @@ func TestOCReduceModelCrossValidation(t *testing.T) {
 	cfg.Contention.Enabled = false
 	mdl := model.New(cfg.Params)
 	rp := model.DefaultReduceParams()
+	var cells []AllReduceCell
 	for _, k := range []int{2, 3, 7} {
 		for _, lines := range []int{1, 16, 96, 256, 1024} {
-			sim := MeanReduce(cfg, VariantOC, k, scc.NumCores, lines, 2)
-			pred := mdl.OCReduceLatency(rp, lines, k).Microseconds()
-			ratio := sim / pred
-			if ratio < 0.85 || ratio > 1.15 {
-				t.Errorf("reduce k=%d m=%d: sim %.2fµs vs model %.2fµs (ratio %.2f outside [0.85,1.15])",
-					k, lines, sim, pred, ratio)
-			}
+			cells = append(cells, AllReduceCell{Variant: VariantOC, K: k, Lines: lines, Reps: 2, ReduceOnly: true})
+		}
+	}
+	sims := MeanAllReduceGrid(cfg, scc.NumCores, cells)
+	for i, c := range cells {
+		pred := mdl.OCReduceLatency(rp, c.Lines, c.K).Microseconds()
+		ratio := sims[i] / pred
+		if ratio < 0.85 || ratio > 1.15 {
+			t.Errorf("reduce k=%d m=%d: sim %.2fµs vs model %.2fµs (ratio %.2f outside [0.85,1.15])",
+				c.K, c.Lines, sims[i], pred, ratio)
 		}
 	}
 }
@@ -70,15 +78,19 @@ func TestOCAllReduceModelCrossValidation(t *testing.T) {
 	cfg.Contention.Enabled = false
 	mdl := model.New(cfg.Params)
 	rp := model.DefaultReduceParams()
+	var cells []AllReduceCell
 	for _, k := range []int{2, 3, 7} {
 		for _, lines := range []int{1, 96, 1024} {
-			sim := MeanAllReduce(cfg, VariantOC, k, scc.NumCores, lines, 2)
-			pred := mdl.OCAllReduceLatency(rp, lines, k).Microseconds()
-			ratio := sim / pred
-			if ratio < 0.85 || ratio > 1.15 {
-				t.Errorf("allreduce k=%d m=%d: sim %.2fµs vs model %.2fµs (ratio %.2f outside [0.85,1.15])",
-					k, lines, sim, pred, ratio)
-			}
+			cells = append(cells, AllReduceCell{Variant: VariantOC, K: k, Lines: lines, Reps: 2})
+		}
+	}
+	sims := MeanAllReduceGrid(cfg, scc.NumCores, cells)
+	for i, c := range cells {
+		pred := mdl.OCAllReduceLatency(rp, c.Lines, c.K).Microseconds()
+		ratio := sims[i] / pred
+		if ratio < 0.85 || ratio > 1.15 {
+			t.Errorf("allreduce k=%d m=%d: sim %.2fµs vs model %.2fµs (ratio %.2f outside [0.85,1.15])",
+				c.K, c.Lines, sims[i], pred, ratio)
 		}
 	}
 }

@@ -32,31 +32,16 @@ func Fig4(cfg scc.Config, iters int) *Table {
 		},
 	}
 
-	run := func(op string, n int, body func(c *rma.Core) float64) {
-		chip := rma.NewChip(cfg)
-		perCore := make([]float64, 0, n)
-		chip.Run(func(c *rma.Core) {
-			// Cores 1..n participate; the paper's accessed core 0 idles.
-			if c.ID() < 1 || c.ID() > n {
-				return
-			}
-			perCore = append(perCore, body(c))
-		})
-		s := stats.Summarize(perCore)
-		tbl.Rows = append(tbl.Rows, []string{
-			op, fmt.Sprint(n),
-			fmt.Sprintf("%.3f", s.Mean),
-			fmt.Sprintf("%.3f", s.Min),
-			fmt.Sprintf("%.3f", s.Max),
-			fmt.Sprintf("%.2f", s.Max/s.Min),
-		})
+	// Each (op, accessor-count) cell simulates on its own chip, so the
+	// cells shard across ParallelMap workers; rows keep the sweep order.
+	type cell struct {
+		op   string
+		n    int
+		body func(c *rma.Core) float64
 	}
-
+	var cells []cell
 	for _, n := range Fig4Counts {
-		if n > scc.NumCores-1 {
-			n = scc.NumCores - 1 // core 0 is the target, 47 accessors max
-		}
-		run("get 128CL", n, func(c *rma.Core) float64 {
+		cells = append(cells, cell{"get 128CL", ncoresCap(n), func(c *rma.Core) float64 {
 			var total float64
 			for it := 0; it < iters; it++ {
 				t0 := c.Now()
@@ -64,13 +49,10 @@ func Fig4(cfg scc.Config, iters int) *Table {
 				total += (c.Now() - t0).Microseconds()
 			}
 			return total / float64(iters)
-		})
+		}})
 	}
 	for _, n := range Fig4Counts {
-		if n > scc.NumCores-1 {
-			n = scc.NumCores - 1
-		}
-		run("put 1CL", n, func(c *rma.Core) float64 {
+		cells = append(cells, cell{"put 1CL", ncoresCap(n), func(c *rma.Core) float64 {
 			var total float64
 			for it := 0; it < iters; it++ {
 				t0 := c.Now()
@@ -81,7 +63,28 @@ func Fig4(cfg scc.Config, iters int) *Table {
 				total += (c.Now() - t0).Microseconds()
 			}
 			return total / float64(iters)
-		})
+		}})
 	}
+
+	tbl.Rows = ParallelMap(len(cells), func(i int) []string {
+		cl := cells[i]
+		chip := rma.NewChip(cfg)
+		perCore := make([]float64, 0, cl.n)
+		chip.Run(func(c *rma.Core) {
+			// Cores 1..n participate; the paper's accessed core 0 idles.
+			if c.ID() < 1 || c.ID() > cl.n {
+				return
+			}
+			perCore = append(perCore, cl.body(c))
+		})
+		s := stats.Summarize(perCore)
+		return []string{
+			cl.op, fmt.Sprint(cl.n),
+			fmt.Sprintf("%.3f", s.Mean),
+			fmt.Sprintf("%.3f", s.Min),
+			fmt.Sprintf("%.3f", s.Max),
+			fmt.Sprintf("%.2f", s.Max/s.Min),
+		}
+	})
 	return tbl
 }

@@ -23,10 +23,17 @@ func Fig8a(cfg scc.Config, reps int) *Table {
 		},
 	}
 	algs := []Alg{{Name: "oc", K: 2}, {Name: "oc", K: 7}, {Name: "oc", K: 47}, {Name: "binomial"}}
+	var cells []LatencyCell
 	for _, lines := range Fig8aSizes {
-		row := []string{fmt.Sprint(lines)}
 		for _, a := range algs {
-			row = append(row, fmt.Sprintf("%.2f", MeanLatency(cfg, a, scc.NumCores, lines, reps)))
+			cells = append(cells, LatencyCell{Alg: a, Lines: lines, Reps: reps})
+		}
+	}
+	lat := MeanLatencyGrid(cfg, scc.NumCores, cells)
+	for si, lines := range Fig8aSizes {
+		row := []string{fmt.Sprint(lines)}
+		for ai := range algs {
+			row = append(row, fmt.Sprintf("%.2f", lat[si*len(algs)+ai]))
 		}
 		tbl.Rows = append(tbl.Rows, row)
 	}
@@ -52,15 +59,21 @@ func Fig8b(cfg scc.Config, reps int) *Table {
 		},
 	}
 	algs := []Alg{{Name: "oc", K: 2}, {Name: "oc", K: 7}, {Name: "oc", K: 47}, {Name: "sag"}}
+	var cells []LatencyCell
 	for _, lines := range Fig8bSizes {
 		r := reps
 		if lines >= 8192 && r > 2 {
 			r = 2 // large sizes are slow to simulate and low variance
 		}
-		row := []string{fmt.Sprint(lines)}
 		for _, a := range algs {
-			lat := MeanLatency(cfg, a, scc.NumCores, lines, r)
-			row = append(row, fmt.Sprintf("%.2f", ThroughputMBps(lines, lat)))
+			cells = append(cells, LatencyCell{Alg: a, Lines: lines, Reps: r})
+		}
+	}
+	lat := MeanLatencyGrid(cfg, scc.NumCores, cells)
+	for si, lines := range Fig8bSizes {
+		row := []string{fmt.Sprint(lines)}
+		for ai := range algs {
+			row = append(row, fmt.Sprintf("%.2f", ThroughputMBps(lines, lat[si*len(algs)+ai])))
 		}
 		tbl.Rows = append(tbl.Rows, row)
 	}
@@ -72,12 +85,16 @@ func Fig8b(cfg scc.Config, reps int) *Table {
 // 21.6 µs, a 27% improvement), plus the peak-throughput ratio versus
 // scatter-allgather (paper: almost 3×).
 func Headline(cfg scc.Config, reps int) *Table {
-	oc1 := MeanLatency(cfg, Alg{Name: "oc", K: 7}, scc.NumCores, 1, reps)
-	bin1 := MeanLatency(cfg, Alg{Name: "binomial"}, scc.NumCores, 1, reps)
-
 	const large = 8192
-	ocT := ThroughputMBps(large, MeanLatency(cfg, Alg{Name: "oc", K: 7}, scc.NumCores, large, 2))
-	sagT := ThroughputMBps(large, MeanLatency(cfg, Alg{Name: "sag"}, scc.NumCores, large, 2))
+	lat := MeanLatencyGrid(cfg, scc.NumCores, []LatencyCell{
+		{Alg: Alg{Name: "oc", K: 7}, Lines: 1, Reps: reps},
+		{Alg: Alg{Name: "binomial"}, Lines: 1, Reps: reps},
+		{Alg: Alg{Name: "oc", K: 7}, Lines: large, Reps: 2},
+		{Alg: Alg{Name: "sag"}, Lines: large, Reps: 2},
+	})
+	oc1, bin1 := lat[0], lat[1]
+	ocT := ThroughputMBps(large, lat[2])
+	sagT := ThroughputMBps(large, lat[3])
 
 	tbl := &Table{
 		Title:   "Headline results (§6.2) — paper vs this reproduction",

@@ -122,14 +122,18 @@ func measureCollective(cfg scc.Config, variant string, k, n, lines, reps int, re
 	return out
 }
 
-// MeanAllReduce averages MeasureAllReduce.
+// MeanAllReduce averages MeasureAllReduce. It is the one-cell case of
+// MeanAllReduceGrid, so single points and sweeps share the same runner.
 func MeanAllReduce(cfg scc.Config, variant string, k, n, lines, reps int) float64 {
-	return mean(MeasureAllReduce(cfg, variant, k, n, lines, reps))
+	return MeanAllReduceGrid(cfg, n, []AllReduceCell{{Variant: variant, K: k, Lines: lines, Reps: reps}})[0]
 }
 
-// MeanReduce averages MeasureReduce.
+// MeanReduce averages MeasureReduce. Like MeanAllReduce, it is the
+// one-cell case of MeanAllReduceGrid (with ReduceOnly set).
 func MeanReduce(cfg scc.Config, variant string, k, n, lines, reps int) float64 {
-	return mean(MeasureReduce(cfg, variant, k, n, lines, reps))
+	return MeanAllReduceGrid(cfg, n, []AllReduceCell{
+		{Variant: variant, K: k, Lines: lines, Reps: reps, ReduceOnly: true},
+	})[0]
 }
 
 func mean(ls []float64) float64 {
@@ -156,13 +160,22 @@ func FigAllReduce(cfg scc.Config, effort int) *Table {
 		},
 	}
 	reps := 1 + effort
-	for _, lines := range []int{1, 8, 32, 96, 256, 512, 1024} {
-		oc := make([]float64, 3)
-		for i, k := range []int{2, 3, 7} {
-			oc[i] = MeanAllReduce(cfg, VariantOC, k, scc.NumCores, lines, reps)
+	sizes := []int{1, 8, 32, 96, 256, 512, 1024}
+	variants := []AllReduceCell{
+		{Variant: VariantOC, K: 2}, {Variant: VariantOC, K: 3}, {Variant: VariantOC, K: 7},
+		{Variant: VariantTwoSided, K: 7}, {Variant: VariantHybrid, K: 7},
+	}
+	var cells []AllReduceCell
+	for _, lines := range sizes {
+		for _, v := range variants {
+			v.Lines, v.Reps = lines, reps
+			cells = append(cells, v)
 		}
-		ts := MeanAllReduce(cfg, VariantTwoSided, 7, scc.NumCores, lines, reps)
-		hy := MeanAllReduce(cfg, VariantHybrid, 7, scc.NumCores, lines, reps)
+	}
+	lat := MeanAllReduceGrid(cfg, scc.NumCores, cells)
+	for si, lines := range sizes {
+		row := lat[si*len(variants) : (si+1)*len(variants)]
+		oc, ts, hy := row[:3], row[3], row[4]
 		best := oc[0]
 		for _, v := range oc[1:] {
 			if v < best {

@@ -1,0 +1,148 @@
+package harness
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/scc"
+)
+
+// goldenPoint pins the exact simulated per-repetition latencies (µs) of a
+// headline experiment point. The values were captured from the simulator
+// BEFORE the hot-path overhaul (indexed-heap scheduler, bulk RMA extents,
+// parallel sharding) and must stay bit-identical forever: the overhaul's
+// contract is that it changes wall-clock time only, never simulated time.
+// Latencies are exact — they are integer picosecond timestamps divided by
+// 1e6 — so the comparison is float64 equality, not approximate.
+type goldenPoint struct {
+	name  string
+	want  []float64
+	run   func() []float64
+	heavy bool // skipped with -short (≈1 s of simulation each)
+}
+
+func goldenPoints(cfg scc.Config) []goldenPoint {
+	return []goldenPoint{
+		{
+			name: "fig8a/oc-k7-1CL",
+			want: []float64{5.088, 5.088, 5.088},
+			run: func() []float64 {
+				return MeasureBcast(cfg, Alg{Name: "oc", K: 7}, scc.NumCores, 1, 3)
+			},
+		},
+		{
+			name: "fig8a/binomial-1CL",
+			want: []float64{11.589, 11.589, 11.589},
+			run: func() []float64 {
+				return MeasureBcast(cfg, Alg{Name: "binomial"}, scc.NumCores, 1, 3)
+			},
+		},
+		{
+			name:  "fig8b/oc-k7-8192CL",
+			want:  []float64{7908.4312, 7908.4312},
+			heavy: true,
+			run: func() []float64 {
+				return MeasureBcast(cfg, Alg{Name: "oc", K: 7}, scc.NumCores, 8192, 2)
+			},
+		},
+		{
+			name:  "fig8b/sag-8192CL",
+			want:  []float64{20638.362, 20638.362},
+			heavy: true,
+			run: func() []float64 {
+				return MeasureBcast(cfg, Alg{Name: "sag"}, scc.NumCores, 8192, 2)
+			},
+		},
+		{
+			name: "allreduce/oc-k7-8KiB",
+			want: []float64{1617.671, 1617.671},
+			run: func() []float64 {
+				return MeasureAllReduce(cfg, VariantOC, 7, scc.NumCores, 256, 2)
+			},
+		},
+		{
+			name: "allreduce/twosided-8KiB",
+			want: []float64{2888.771, 2888.771},
+			run: func() []float64 {
+				return MeasureAllReduce(cfg, VariantTwoSided, 7, scc.NumCores, 256, 2)
+			},
+		},
+	}
+}
+
+func checkGolden(t *testing.T, label string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d repetitions, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("%s: rep %d = %v µs, want exactly %v µs", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestGoldenSimulatedLatencies asserts the headline points are (a) equal
+// to the pre-overhaul snapshot and (b) identical across back-to-back runs
+// in the same process.
+func TestGoldenSimulatedLatencies(t *testing.T) {
+	cfg := scc.DefaultConfig()
+	for _, pt := range goldenPoints(cfg) {
+		pt := pt
+		t.Run(pt.name, func(t *testing.T) {
+			if pt.heavy && testing.Short() {
+				t.Skip("heavy golden point skipped with -short")
+			}
+			checkGolden(t, "snapshot", pt.run(), pt.want)
+			checkGolden(t, "run-to-run", pt.run(), pt.want)
+		})
+	}
+}
+
+// TestGoldenSequentialVsParallel asserts that the parallel-sharded grid
+// runner produces byte-identical simulated latencies to plain sequential
+// MeasureBcast/MeasureAllReduce calls, with GOMAXPROCS raised so
+// ParallelMap genuinely runs concurrent workers even on a 1-CPU machine.
+func TestGoldenSequentialVsParallel(t *testing.T) {
+	cfg := scc.DefaultConfig()
+
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	algs := []Alg{{Name: "oc", K: 2}, {Name: "oc", K: 7}, {Name: "binomial"}, {Name: "sag"}}
+	sizes := []int{1, 16, 96}
+	const reps = 2
+
+	var cells []LatencyCell
+	var seq []float64
+	for _, lines := range sizes {
+		for _, a := range algs {
+			cells = append(cells, LatencyCell{Alg: a, Lines: lines, Reps: reps})
+			seq = append(seq, mean(MeasureBcast(cfg, a, scc.NumCores, lines, reps)))
+		}
+	}
+	par := MeanLatencyGrid(cfg, scc.NumCores, cells)
+	for i := range cells {
+		if par[i] != seq[i] {
+			t.Errorf("cell %d (%s, %d CL): parallel %v µs != sequential %v µs",
+				i, cells[i].Alg.Label(), cells[i].Lines, par[i], seq[i])
+		}
+	}
+
+	arCells := []AllReduceCell{
+		{Variant: VariantOC, K: 7, Lines: 32, Reps: reps},
+		{Variant: VariantTwoSided, K: 7, Lines: 32, Reps: reps},
+		{Variant: VariantHybrid, K: 7, Lines: 32, Reps: reps},
+	}
+	var arSeq []float64
+	for _, c := range arCells {
+		arSeq = append(arSeq, mean(MeasureAllReduce(cfg, c.Variant, c.K, scc.NumCores, c.Lines, c.Reps)))
+	}
+	arPar := MeanAllReduceGrid(cfg, scc.NumCores, arCells)
+	for i := range arCells {
+		if arPar[i] != arSeq[i] {
+			t.Errorf("allreduce cell %d (%s): parallel %v µs != sequential %v µs",
+				i, arCells[i].Variant, arPar[i], arSeq[i])
+		}
+	}
+}

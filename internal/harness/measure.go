@@ -106,14 +106,10 @@ func MeasureBcast(cfg scc.Config, alg Alg, n, lines, reps int) []float64 {
 	return out
 }
 
-// MeanLatency averages MeasureBcast.
+// MeanLatency averages MeasureBcast. It is the one-cell case of
+// MeanLatencyGrid, so single points and sweeps share the same runner.
 func MeanLatency(cfg scc.Config, alg Alg, n, lines, reps int) float64 {
-	ls := MeasureBcast(cfg, alg, n, lines, reps)
-	var sum float64
-	for _, l := range ls {
-		sum += l
-	}
-	return sum / float64(len(ls))
+	return MeanLatencyGrid(cfg, n, []LatencyCell{{Alg: alg, Lines: lines, Reps: reps}})[0]
 }
 
 // ThroughputMBps converts a broadcast of `lines` cache lines completing

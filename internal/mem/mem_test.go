@@ -228,3 +228,84 @@ func TestCacheDisabled(t *testing.T) {
 		t.Fatal("disabled cache stored lines")
 	}
 }
+
+// TestWriteLinesExtentVisibility: a bulk extent's lines become visible at
+// eff0 + i·stride, one line at a time.
+func TestWriteLinesExtentVisibility(t *testing.T) {
+	_, m := newTestMPB()
+	src := make([]byte, 3*scc.CacheLine)
+	for i := 0; i < 3; i++ {
+		copy(src[i*scc.CacheLine:], lineOf(byte(0x10+i)))
+	}
+	const eff0, stride = 100 * sim.Nanosecond, 40 * sim.Nanosecond
+	m.WriteLines(4, src, 3, eff0, stride)
+
+	for i := 0; i < 3; i++ {
+		eff := eff0 + sim.Duration(i)*stride
+		if got := m.ReadLine(4+i, eff-1); !bytes.Equal(got, lineOf(0)) {
+			t.Fatalf("line %d visible before its eff time", 4+i)
+		}
+		if got := m.ReadLine(4+i, eff); !bytes.Equal(got, lineOf(byte(0x10+i))) {
+			t.Fatalf("line %d at eff = %x, want %x..", 4+i, got[:2], 0x10+i)
+		}
+	}
+}
+
+// TestWriteLinesThenOverwrite: a later single-line write layered over an
+// extent settles in issue order, exactly like the per-line queue it
+// replaced.
+func TestWriteLinesThenOverwrite(t *testing.T) {
+	_, m := newTestMPB()
+	src := append(lineOf(1), lineOf(2)...)
+	m.WriteLines(0, src, 2, 10*sim.Nanosecond, 5*sim.Nanosecond)
+	m.WriteLine(1, lineOf(9), 20*sim.Nanosecond)
+
+	if got := m.ReadLine(1, 16*sim.Nanosecond); !bytes.Equal(got, lineOf(2)) {
+		t.Fatalf("line 1 at 16ns = %x, want extent value 02", got[:2])
+	}
+	if got := m.ReadLine(1, 20*sim.Nanosecond); !bytes.Equal(got, lineOf(9)) {
+		t.Fatalf("line 1 at 20ns = %x, want overwrite 09", got[:2])
+	}
+	if got := m.ReadLine(0, 20*sim.Nanosecond); !bytes.Equal(got, lineOf(1)) {
+		t.Fatalf("line 0 at 20ns = %x, want 01", got[:2])
+	}
+}
+
+// TestReadLinesIntoStrided: the bulk read observes each line at its own
+// per-line time t0 + i·stride.
+func TestReadLinesIntoStrided(t *testing.T) {
+	_, m := newTestMPB()
+	src := append(lineOf(7), lineOf(8)...)
+	// Line 0 visible at 100ns, line 1 at 200ns.
+	m.WriteLines(0, src, 2, 100*sim.Nanosecond, 100*sim.Nanosecond)
+
+	// Read line 0 at 150ns, line 1 at 150+30=180ns: line 1 still zero.
+	dst := make([]byte, 2*scc.CacheLine)
+	m.ReadLinesInto(dst, 0, 2, 150*sim.Nanosecond, 30*sim.Nanosecond)
+	if !bytes.Equal(dst[:scc.CacheLine], lineOf(7)) {
+		t.Fatalf("line 0 = %x, want 07", dst[:2])
+	}
+	if !bytes.Equal(dst[scc.CacheLine:], lineOf(0)) {
+		t.Fatalf("line 1 = %x, want 00 (not yet visible at 180ns)", dst[scc.CacheLine:scc.CacheLine+2])
+	}
+	// Re-read with a stride that crosses the visibility time.
+	m.ReadLinesInto(dst, 0, 2, 150*sim.Nanosecond, 100*sim.Nanosecond)
+	if !bytes.Equal(dst[scc.CacheLine:], lineOf(8)) {
+		t.Fatalf("line 1 = %x, want 08 (visible at 250ns)", dst[scc.CacheLine:scc.CacheLine+2])
+	}
+}
+
+// TestExtentRecycling: settled extents are recycled, so a steady-state
+// write/read loop stops allocating pending records.
+func TestExtentRecycling(t *testing.T) {
+	_, m := newTestMPB()
+	src := append(lineOf(3), lineOf(4)...)
+	allocs := testing.AllocsPerRun(100, func() {
+		m.WriteLines(0, src, 2, 0, 0)
+		var dst [2 * scc.CacheLine]byte
+		m.ReadLinesInto(dst[:], 0, 2, 1<<40, 0)
+	})
+	if allocs > 0.5 {
+		t.Fatalf("steady-state write/read allocates %.1f objects per op, want 0", allocs)
+	}
+}

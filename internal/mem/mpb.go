@@ -7,6 +7,13 @@
 // exactly the writes whose effective time is ≤ t. Because the engine
 // executes operations in nondecreasing global time order, pending writes
 // can be folded into the backing store lazily.
+//
+// Not-yet-visible writes are tracked as *extents*: one pendingExtent
+// record covers a whole contiguous bulk transfer (base effective time
+// plus a constant per-line stride), so an m-line RMA op costs one pending
+// record instead of m per-line map entries. WriteLines/ReadLinesInto are
+// the bulk entry points; WriteLine/ReadLine/ReadInto remain as the
+// single-line special case.
 package mem
 
 import (
@@ -25,9 +32,14 @@ type MPB struct {
 	eng   *sim.Engine
 	data  []byte
 
-	// pending holds not-yet-visible writes per line, ordered by
-	// effective time (writes are issued in nondecreasing time order).
-	pending map[int][]pendingWrite
+	// pending holds not-yet-visible write extents in issue order. The
+	// per-line subsequence (extents covering a given line) is exactly
+	// the former per-line queue: writes are issued in nondecreasing
+	// time order, and each line folds its own prefix independently.
+	pending []*pendingExtent
+	// free recycles fully folded extents (and their line buffers) so the
+	// steady-state write path allocates nothing.
+	free []*pendingExtent
 
 	// Port is the FIFO server modelling the MPB's access port, the
 	// contention point measured in Figure 4.
@@ -42,9 +54,45 @@ type MPB struct {
 	accessLog map[int][]sim.Time
 }
 
-type pendingWrite struct {
-	eff  sim.Time
-	data [scc.CacheLine]byte
+// extentWords sizes the per-extent applied bitmap: an extent can span at
+// most the whole MPB (256 lines).
+const extentWords = (scc.MPBLinesPerCore + 63) / 64
+
+// pendingExtent is one not-yet-folded bulk write of n consecutive lines
+// starting at line0, where line line0+i becomes visible at eff0+i·stride.
+// applied marks lines already folded into the backing store (each line
+// settles independently, in its own prefix order).
+type pendingExtent struct {
+	line0, n int
+	eff0     sim.Time
+	stride   sim.Duration
+	data     []byte // n×32 bytes, owned by the MPB
+	applied  [extentWords]uint64
+	nApplied int
+}
+
+func (x *pendingExtent) covers(line int) bool {
+	return line >= x.line0 && line < x.line0+x.n
+}
+
+func (x *pendingExtent) effAt(line int) sim.Time {
+	return x.eff0 + sim.Duration(line-x.line0)*x.stride
+}
+
+func (x *pendingExtent) lineData(line int) []byte {
+	off := (line - x.line0) * scc.CacheLine
+	return x.data[off : off+scc.CacheLine]
+}
+
+func (x *pendingExtent) isApplied(line int) bool {
+	i := line - x.line0
+	return x.applied[i/64]&(1<<(i%64)) != 0
+}
+
+func (x *pendingExtent) markApplied(line int) {
+	i := line - x.line0
+	x.applied[i/64] |= 1 << (i % 64)
+	x.nApplied++
 }
 
 // NewMPB creates core owner's MPB backed by engine e.
@@ -53,7 +101,6 @@ func NewMPB(e *sim.Engine, owner int, readSvc sim.Duration) *MPB {
 		owner:      owner,
 		eng:        e,
 		data:       make([]byte, scc.MPBBytesPerCore),
-		pending:    make(map[int][]pendingWrite),
 		Port:       sim.NewResource(fmt.Sprintf("mpb[%d]", owner), readSvc),
 		lastAccess: make(map[int]sim.Time),
 		accessLog:  make(map[int][]sim.Time),
@@ -72,7 +119,11 @@ func (m *MPB) NoteAccess(core int, t sim.Time, window sim.Duration) int {
 	for i < len(log) && log[i]+window < t {
 		i++
 	}
-	log = append(log[i:], t)
+	if i > 0 {
+		n := copy(log, log[i:])
+		log = log[:n]
+	}
+	log = append(log, t)
 	m.accessLog[core] = log
 	return len(log)
 }
@@ -110,22 +161,73 @@ func (m *MPB) checkLine(line int) {
 }
 
 // settle folds pending writes with effective time ≤ t into the backing
-// store for the given line.
+// store for the given line. Per line, folding stops at the first pending
+// write in the future — each line consumes its own issue-order prefix.
 func (m *MPB) settle(line int, t sim.Time) {
-	pw := m.pending[line]
-	i := 0
-	for i < len(pw) && pw[i].eff <= t {
-		copy(m.data[line*scc.CacheLine:], pw[i].data[:])
-		i++
-	}
-	if i == 0 {
+	if len(m.pending) == 0 {
 		return
 	}
-	if i == len(pw) {
-		delete(m.pending, line)
-	} else {
-		m.pending[line] = pw[i:]
+	completed := false
+	for _, x := range m.pending {
+		if !x.covers(line) || x.isApplied(line) {
+			continue
+		}
+		if x.effAt(line) > t {
+			break
+		}
+		copy(m.data[line*scc.CacheLine:], x.lineData(line))
+		x.markApplied(line)
+		completed = completed || x.nApplied == x.n
 	}
+	if completed {
+		m.compact()
+	}
+}
+
+// compact recycles every fully folded extent, wherever it sits in the
+// list: a fully folded extent is invisible to reads (they skip applied
+// lines), so removal order doesn't matter. Extents covering lines that
+// are written but never read again (e.g. a collective's unread flag
+// slots) can therefore not pin completed extents behind them.
+func (m *MPB) compact() {
+	kept := m.pending[:0]
+	for _, x := range m.pending {
+		if x.nApplied == x.n {
+			m.recycle(x)
+		} else {
+			kept = append(kept, x)
+		}
+	}
+	for j := len(kept); j < len(m.pending); j++ {
+		m.pending[j] = nil
+	}
+	m.pending = kept
+}
+
+func (m *MPB) recycle(x *pendingExtent) {
+	x.applied = [extentWords]uint64{}
+	x.nApplied = 0
+	x.n = 0
+	m.free = append(m.free, x)
+}
+
+// newExtent returns a recycled or fresh extent with room for n lines.
+func (m *MPB) newExtent(n int) *pendingExtent {
+	var x *pendingExtent
+	if k := len(m.free); k > 0 {
+		x = m.free[k-1]
+		m.free[k-1] = nil
+		m.free = m.free[:k-1]
+	} else {
+		x = &pendingExtent{}
+	}
+	need := n * scc.CacheLine
+	if cap(x.data) < need {
+		x.data = make([]byte, need)
+	}
+	x.data = x.data[:need]
+	x.n = n
+	return x
 }
 
 // ReadLine returns the 32-byte content of a line as visible at time t.
@@ -145,15 +247,57 @@ func (m *MPB) ReadInto(dst []byte, line int, t sim.Time) {
 	copy(dst[:scc.CacheLine], m.data[line*scc.CacheLine:])
 }
 
+// ReadLinesInto copies n consecutive lines starting at line0 into dst
+// (≥ n×32 bytes), where line line0+i is read as visible at t0+i·stride —
+// the per-line read times of a bulk RMA op whose per-line cost is
+// constant. It allocates nothing.
+func (m *MPB) ReadLinesInto(dst []byte, line0, n int, t0 sim.Time, stride sim.Duration) {
+	if n <= 0 {
+		panic(fmt.Sprintf("mem: MPB[%d] non-positive read extent %d", m.owner, n))
+	}
+	m.checkLine(line0)
+	m.checkLine(line0 + n - 1)
+	t := t0
+	for i := 0; i < n; i++ {
+		line := line0 + i
+		m.settle(line, t)
+		copy(dst[i*scc.CacheLine:(i+1)*scc.CacheLine], m.data[line*scc.CacheLine:])
+		t += stride
+	}
+}
+
 // WriteLine stores 32 bytes into a line with effective time eff and
 // signals any process blocked on that line. src must hold ≥32 bytes.
 func (m *MPB) WriteLine(line int, src []byte, eff sim.Time) {
-	m.checkLine(line)
-	var pw pendingWrite
-	pw.eff = eff
-	copy(pw.data[:], src[:scc.CacheLine])
-	m.pending[line] = append(m.pending[line], pw)
-	m.eng.Signal(m.watchKey(line), eff)
+	m.WriteLines(line, src, 1, eff, 0)
+}
+
+// WriteLines stores n consecutive lines starting at line0, where line
+// line0+i becomes visible at eff0+i·stride, and signals each line's
+// watchers at its own effective time. src must hold ≥ n×32 bytes and is
+// copied, so callers may reuse their buffer. The whole transfer is
+// carried by a single pending record (recycled across operations), so the
+// steady-state cost is O(1) allocations regardless of n.
+func (m *MPB) WriteLines(line0 int, src []byte, n int, eff0 sim.Time, stride sim.Duration) {
+	if n <= 0 {
+		panic(fmt.Sprintf("mem: MPB[%d] non-positive write extent %d", m.owner, n))
+	}
+	if stride < 0 {
+		panic(fmt.Sprintf("mem: MPB[%d] negative extent stride %d", m.owner, stride))
+	}
+	m.checkLine(line0)
+	m.checkLine(line0 + n - 1)
+	x := m.newExtent(n)
+	x.line0 = line0
+	x.eff0 = eff0
+	x.stride = stride
+	copy(x.data, src[:n*scc.CacheLine])
+	m.pending = append(m.pending, x)
+	eff := eff0
+	for i := 0; i < n; i++ {
+		m.eng.Signal(m.watchKey(line0+i), eff)
+		eff += stride
+	}
 }
 
 // PeekU64 reads the first 8 bytes of a line as a little-endian uint64 as
@@ -171,14 +315,16 @@ func (m *MPB) PeekU64(line int, t sim.Time) uint64 {
 
 // peekU64At evaluates what PeekU64 would return at time t WITHOUT
 // settling state — used inside wait predicates, which may be evaluated
-// while earlier-time reads are still possible. It scans pending writes.
+// while earlier-time reads are still possible. It scans pending extents
+// using only a stack buffer (it runs on every Signal delivered to a
+// waiting process, so it must not allocate).
 func (m *MPB) peekU64At(line int, t sim.Time) uint64 {
 	off := line * scc.CacheLine
-	buf := make([]byte, 8)
-	copy(buf, m.data[off:off+8])
-	for _, pw := range m.pending[line] {
-		if pw.eff <= t {
-			copy(buf, pw.data[:8])
+	var buf [8]byte
+	copy(buf[:], m.data[off:off+8])
+	for _, x := range m.pending {
+		if x.covers(line) && !x.isApplied(line) && x.effAt(line) <= t {
+			copy(buf[:], x.lineData(line)[:8])
 		}
 	}
 	var v uint64
@@ -196,12 +342,16 @@ func (m *MPB) satisfiedAt(line int, now sim.Time, pred func(uint64) bool) (sim.T
 	if pred(m.peekU64At(line, now)) {
 		return now, true
 	}
-	for _, pw := range m.pending[line] {
-		if pw.eff <= now {
+	for _, x := range m.pending {
+		if !x.covers(line) || x.isApplied(line) {
+			continue
+		}
+		eff := x.effAt(line)
+		if eff <= now {
 			continue // already folded into peekU64At(now)
 		}
-		if pred(m.peekU64At(line, pw.eff)) {
-			return pw.eff, true
+		if pred(m.peekU64At(line, eff)) {
+			return eff, true
 		}
 	}
 	return 0, false

@@ -18,7 +18,11 @@ type Private struct {
 	pages map[int]*page
 }
 
-const pageBytes = 64 * 1024
+// pageBytes is the demand-allocation granularity. 8 KiB keeps the
+// zero-fill cost of a fresh chip proportional to the bytes actually
+// touched (a broadcast payload staging area is a few KiB per core), which
+// matters because harness sweeps construct thousands of chips.
+const pageBytes = 8 * 1024
 
 type page struct {
 	data [pageBytes]byte
@@ -82,24 +86,43 @@ func (p *Private) Write(addr int, src []byte) {
 // touched line addresses per core; capacity is approximated as unbounded
 // within an experiment iteration because the paper's methodology already
 // defeats cross-iteration reuse by broadcasting from fresh offsets.
+//
+// Residency is a bitmap per address page (one word per 64 lines), so
+// marking a line on the RMA hot path allocates at most once per page
+// instead of once per map insert.
 type Cache struct {
 	enabled bool
-	lines   map[int]struct{}
+	pages   map[int]*cachePage
+	n       int
+}
+
+// cacheLinesPerPage is the number of cache lines covered by one residency
+// bitmap page (mirrors Private's pageBytes granularity).
+const cacheLinesPerPage = pageBytes / scc.CacheLine
+
+type cachePage struct {
+	bits [cacheLinesPerPage / 64]uint64
 }
 
 // NewCache creates a cache model; when enabled is false every lookup
 // misses, which is the configuration used for OC-Bcast-only studies
 // (OC-Bcast gets no benefit from it either way — see DESIGN.md §4.3).
 func NewCache(enabled bool) *Cache {
-	return &Cache{enabled: enabled, lines: make(map[int]struct{})}
+	return &Cache{enabled: enabled, pages: make(map[int]*cachePage)}
+}
+
+func (c *Cache) page(line int) *cachePage {
+	pg := c.pages[line/cacheLinesPerPage]
+	if pg == nil {
+		pg = &cachePage{}
+		c.pages[line/cacheLinesPerPage] = pg
+	}
+	return pg
 }
 
 // Touch marks the cache line containing addr as resident.
 func (c *Cache) Touch(addr int) {
-	if !c.enabled {
-		return
-	}
-	c.lines[addr/scc.CacheLine] = struct{}{}
+	c.Hit(addr)
 }
 
 // Hit reports whether the line containing addr is resident, and touches it.
@@ -108,20 +131,24 @@ func (c *Cache) Hit(addr int) bool {
 		return false
 	}
 	line := addr / scc.CacheLine
-	_, ok := c.lines[line]
-	if !ok {
-		c.lines[line] = struct{}{}
+	pg, i := c.page(line), line%cacheLinesPerPage
+	if pg.bits[i/64]&(1<<(i%64)) != 0 {
+		return true
 	}
-	return ok
+	pg.bits[i/64] |= 1 << (i % 64)
+	c.n++
+	return false
 }
 
 // Flush empties the cache (used between experiment iterations, mirroring
-// the paper's fresh-offset methodology).
+// the paper's fresh-offset methodology). Pages are kept and cleared so a
+// steady-state measurement loop stops allocating.
 func (c *Cache) Flush() {
-	if len(c.lines) > 0 {
-		c.lines = make(map[int]struct{})
+	for _, pg := range c.pages {
+		pg.bits = [cacheLinesPerPage / 64]uint64{}
 	}
+	c.n = 0
 }
 
 // Len reports the number of resident lines (for tests).
-func (c *Cache) Len() int { return len(c.lines) }
+func (c *Cache) Len() int { return c.n }

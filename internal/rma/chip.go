@@ -98,6 +98,23 @@ type Core struct {
 	chip *Chip
 	proc *sim.Proc
 	id   int
+
+	// scratch is the core's reusable line-staging buffer: every bulk RMA
+	// op reads source lines into it and hands it to MPB.WriteLines (which
+	// copies), so the steady-state data path allocates nothing per line.
+	scratch []byte
+	// runs is PutMemToMPB's reusable uniform-stride sub-extent list.
+	runs []writeRun
+}
+
+// scratchBuf returns the core's scratch buffer sized to n bytes, growing
+// it if needed. The contents are unspecified; only one RMA op uses it at
+// a time (ops never nest).
+func (c *Core) scratchBuf(n int) []byte {
+	if cap(c.scratch) < n {
+		c.scratch = make([]byte, n)
+	}
+	return c.scratch[:n]
 }
 
 // ID reports the core id.

@@ -157,26 +157,20 @@ func (c *Core) PutMPBToMPB(dst, dstLine, srcLine, m int) {
 	dstPort := c.reservePort(dst, t0, m, true)
 	mesh := c.meshTraverse(t0, scc.CoreCoord(c.id), scc.CoreCoord(dst), m)
 
-	t := t0 + p.OMpbPut
-	line := make([]byte, scc.CacheLine)
-	effs := make([]sim.Time, m)
-	bufs := make([][]byte, m)
-	for i := 0; i < m; i++ {
-		t += c.CMpbR(1)
-		own.ReadInto(line, srcLine+i, t)
-		eff := t + c.LMpbW(d)
-		t += c.CMpbW(d)
-		effs[i] = eff
-		bufs[i] = append([]byte(nil), line...)
-	}
+	// Each line costs one local read then one remote write, so read
+	// times, visibility times and the op clock all advance by the same
+	// constant stride — the whole transfer is one extent.
+	step := c.CMpbR(1) + c.CMpbW(d)
+	read0 := t0 + p.OMpbPut + c.CMpbR(1)
+	buf := c.scratchBuf(m * scc.CacheLine)
+	own.ReadLinesInto(buf, srcLine, m, read0, step)
+	t := t0 + p.OMpbPut + sim.Duration(m)*step
 	port := srcPort
 	if dstPort > port {
 		port = dstPort
 	}
 	delay := c.finishOp(t, port, sim.Duration(d)*p.Lhop, mesh)
-	for i := 0; i < m; i++ {
-		rem.WriteLine(dstLine+i, bufs[i], effs[i]+delay)
-	}
+	rem.WriteLines(dstLine, buf, m, read0+c.LMpbW(d)+delay, step)
 	ctr := c.counters()
 	ctr.MPBReadLines += int64(m)
 	ctr.MPBWriteLines += int64(m)
@@ -199,31 +193,55 @@ func (c *Core) PutMemToMPB(dst, dstLine, srcAddr, m int) {
 	dstPort := c.reservePort(dst, t0, m, true)
 	mesh := c.meshTraverse(t0, scc.CoreCoord(c.id), scc.CoreCoord(dst), m)
 
+	buf := c.scratchBuf(m * scc.CacheLine)
+	priv.Read(buf, srcAddr, m*scc.CacheLine)
+
+	// Visibility times advance by C^mpb_w(d) per line, plus C^mem_r(dm)
+	// for lines that miss the L1 model — so a run of lines with the same
+	// hit/miss outcome forms one uniform-stride extent, and a whole
+	// transfer is typically one extent (all hit or all miss).
 	t := t0 + p.OMemPut
-	line := make([]byte, scc.CacheLine)
-	effs := make([]sim.Time, m)
-	bufs := make([][]byte, m)
 	ctr := c.counters()
+	runs := c.runs[:0]
+	var cur writeRun
 	for i := 0; i < m; i++ {
-		addr := srcAddr + i*scc.CacheLine
-		if cache.Hit(addr) {
+		stride := c.CMpbW(d)
+		if cache.Hit(srcAddr + i*scc.CacheLine) {
 			ctr.CacheHitLines++
 		} else {
 			t += c.CMemR(dm)
+			stride += c.CMemR(dm)
 			ctr.MemReadLines++
 		}
-		priv.Read(line, addr, scc.CacheLine)
 		eff := t + c.LMpbW(d)
 		t += c.CMpbW(d)
-		effs[i] = eff
-		bufs[i] = append([]byte(nil), line...)
+		if cur.n > 0 && cur.stride == stride && eff == cur.eff0+sim.Duration(cur.n)*cur.stride {
+			cur.n++
+		} else {
+			if cur.n > 0 {
+				runs = append(runs, cur)
+			}
+			cur = writeRun{line0: dstLine + i, n: 1, eff0: eff, stride: stride}
+		}
 	}
+	runs = append(runs, cur)
+	c.runs = runs
 	delay := c.finishOp(t, dstPort, sim.Duration(d)*p.Lhop, mesh)
-	for i := 0; i < m; i++ {
-		rem.WriteLine(dstLine+i, bufs[i], effs[i]+delay)
+	off := 0
+	for _, r := range runs {
+		rem.WriteLines(r.line0, buf[off:], r.n, r.eff0+delay, r.stride)
+		off += r.n * scc.CacheLine
 	}
 	ctr.MPBWriteLines += int64(m)
 	ctr.PutOps++
+}
+
+// writeRun is one uniform-stride sub-extent of a bulk write whose
+// per-line costs vary (PutMemToMPB's cache hits vs misses).
+type writeRun struct {
+	line0, n int
+	eff0     sim.Time
+	stride   sim.Duration
 }
 
 // GetMPBToMPB copies m cache lines from core src's MPB into this core's
@@ -240,26 +258,17 @@ func (c *Core) GetMPBToMPB(src, srcLine, dstLine, m int) {
 	ownPort := c.reservePort(c.id, t0, m, true)
 	mesh := c.meshTraverse(t0, scc.CoreCoord(src), scc.CoreCoord(c.id), m)
 
-	t := t0 + p.OMpbGet
-	line := make([]byte, scc.CacheLine)
-	effs := make([]sim.Time, m)
-	bufs := make([][]byte, m)
-	for i := 0; i < m; i++ {
-		t += c.CMpbR(d)
-		rem.ReadInto(line, srcLine+i, t)
-		eff := t + c.LMpbW(1)
-		t += c.CMpbW(1)
-		effs[i] = eff
-		bufs[i] = append([]byte(nil), line...)
-	}
+	step := c.CMpbR(d) + c.CMpbW(1)
+	read0 := t0 + p.OMpbGet + c.CMpbR(d)
+	buf := c.scratchBuf(m * scc.CacheLine)
+	rem.ReadLinesInto(buf, srcLine, m, read0, step)
+	t := t0 + p.OMpbGet + sim.Duration(m)*step
 	port := srcPort
 	if ownPort > port {
 		port = ownPort
 	}
 	delay := c.finishOp(t, port, sim.Duration(d)*p.Lhop, mesh)
-	for i := 0; i < m; i++ {
-		own.WriteLine(dstLine+i, bufs[i], effs[i]+delay)
-	}
+	own.WriteLines(dstLine, buf, m, read0+c.LMpbW(1)+delay, step)
 	ctr := c.counters()
 	ctr.MPBReadLines += int64(m)
 	ctr.MPBWriteLines += int64(m)
@@ -288,22 +297,21 @@ func (c *Core) GetMPBCombine(src, srcLine, dstLine, m int, combine func(dst, src
 	ownPortW := c.reservePort(c.id, t0, m, true)
 	mesh := c.meshTraverse(t0, scc.CoreCoord(src), scc.CoreCoord(c.id), m)
 
-	t := t0 + p.OMpbGet
-	theirs := make([]byte, scc.CacheLine)
-	mine := make([]byte, scc.CacheLine)
-	effs := make([]sim.Time, m)
-	bufs := make([][]byte, m)
+	// Per line: remote read, local accumulator read, local write-back —
+	// three accesses with one combined stride, so both read sequences
+	// and the write-back extent march in lockstep.
+	step := c.CMpbR(d) + c.CMpbR(1) + c.CMpbW(1)
+	remRead0 := t0 + p.OMpbGet + c.CMpbR(d)
+	ownRead0 := remRead0 + c.CMpbR(1)
+	buf := c.scratchBuf(2 * m * scc.CacheLine)
+	theirs, mine := buf[:m*scc.CacheLine], buf[m*scc.CacheLine:]
+	rem.ReadLinesInto(theirs, srcLine, m, remRead0, step)
+	own.ReadLinesInto(mine, dstLine, m, ownRead0, step)
 	for i := 0; i < m; i++ {
-		t += c.CMpbR(d)
-		rem.ReadInto(theirs, srcLine+i, t)
-		t += c.CMpbR(1)
-		own.ReadInto(mine, dstLine+i, t)
-		combine(mine, theirs)
-		eff := t + c.LMpbW(1)
-		t += c.CMpbW(1)
-		effs[i] = eff
-		bufs[i] = append([]byte(nil), mine...)
+		o := i * scc.CacheLine
+		combine(mine[o:o+scc.CacheLine], theirs[o:o+scc.CacheLine])
 	}
+	t := t0 + p.OMpbGet + sim.Duration(m)*step
 	port := srcPort
 	if ownPortR > port {
 		port = ownPortR
@@ -312,9 +320,7 @@ func (c *Core) GetMPBCombine(src, srcLine, dstLine, m int, combine func(dst, src
 		port = ownPortW
 	}
 	delay := c.finishOp(t, port, sim.Duration(d)*p.Lhop, mesh)
-	for i := 0; i < m; i++ {
-		own.WriteLine(dstLine+i, bufs[i], effs[i]+delay)
-	}
+	own.WriteLines(dstLine, mine, m, ownRead0+c.LMpbW(1)+delay, step)
 	ctr := c.counters()
 	ctr.MPBReadLines += int64(2 * m)
 	ctr.MPBWriteLines += int64(m)
@@ -339,16 +345,15 @@ func (c *Core) GetMPBToMem(src, srcLine, dstAddr, m int) {
 	srcPort := c.reservePort(src, t0, m, false)
 	mesh := c.meshTraverse(t0, scc.CoreCoord(src), scc.CoreCoord(c.id), m)
 
-	t := t0 + p.OMemGet
-	line := make([]byte, scc.CacheLine)
+	step := c.CMpbR(d) + c.CMemW(dm)
+	read0 := t0 + p.OMemGet + c.CMpbR(d)
+	buf := c.scratchBuf(m * scc.CacheLine)
+	rem.ReadLinesInto(buf, srcLine, m, read0, step)
+	priv.Write(dstAddr, buf)
 	for i := 0; i < m; i++ {
-		t += c.CMpbR(d)
-		rem.ReadInto(line, srcLine+i, t)
-		t += c.CMemW(dm)
-		addr := dstAddr + i*scc.CacheLine
-		priv.Write(addr, line)
-		cache.Touch(addr)
+		cache.Touch(dstAddr + i*scc.CacheLine)
 	}
+	t := t0 + p.OMemGet + sim.Duration(m)*step
 	c.finishOp(t, srcPort, sim.Duration(d)*p.Lhop, mesh)
 	ctr := c.counters()
 	ctr.MPBReadLines += int64(m)

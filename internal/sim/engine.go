@@ -16,6 +16,12 @@ type Engine struct {
 	started  bool
 	finished int
 
+	// runq holds every runnable process except the one currently
+	// executing its step, keyed on (clock, id). The heap is maintained
+	// incrementally: start and unblock push, the scheduler pops, and a
+	// process that blocks or finishes simply is not pushed back.
+	runq runQueue
+
 	// watchers maps a watch key to the processes blocked on it.
 	watchers map[WatchKey][]*blockedProc
 
@@ -67,6 +73,7 @@ func (e *Engine) Run(body func(p *Proc)) {
 	e.started = true
 	for _, p := range e.procs {
 		p.start(body)
+		e.runq.push(p)
 	}
 	e.loop()
 	if e.panicVal != nil {
@@ -74,10 +81,14 @@ func (e *Engine) Run(body func(p *Proc)) {
 	}
 }
 
-// loop drives the scheduler until every process has finished.
+// loop drives the scheduler until every process has finished. Each step
+// pops the runnable process with the smallest (clock, id) off the run
+// queue in O(log n); the process runs until it yields, and is pushed back
+// only if it is still runnable (it may instead have blocked — in which
+// case a later Signal re-queues it — or finished).
 func (e *Engine) loop() {
 	for e.finished < len(e.procs) {
-		p := e.pickNext()
+		p := e.runq.pop()
 		if p == nil {
 			e.reportDeadlock()
 		}
@@ -88,21 +99,10 @@ func (e *Engine) loop() {
 			// is dropped (they hold no OS resources).
 			return
 		}
-	}
-}
-
-// pickNext returns the runnable process with the smallest (clock, id).
-func (e *Engine) pickNext() *Proc {
-	var best *Proc
-	for _, p := range e.procs {
-		if p.state != stateRunnable {
-			continue
-		}
-		if best == nil || p.now < best.now || (p.now == best.now && p.id < best.id) {
-			best = p
+		if p.state == stateRunnable {
+			e.runq.push(p)
 		}
 	}
-	return best
 }
 
 // Signal re-evaluates every process blocked on key. Processes whose
@@ -119,6 +119,7 @@ func (e *Engine) Signal(key WatchKey, at Time) {
 			if b.wake < at {
 				b.wake = at
 			}
+			b.pred = nil // release the closure; the record is reused
 			b.p.unblock(b.wake)
 		} else {
 			remaining = append(remaining, b)
@@ -131,9 +132,15 @@ func (e *Engine) Signal(key WatchKey, at Time) {
 	}
 }
 
-// addWatcher registers p as blocked on key with the given predicate.
+// addWatcher registers p as blocked on key with the given predicate. A
+// process blocks on at most one key at a time and its watcher entry is
+// removed exactly when it is woken, so the record embedded in the Proc
+// can be reused — no allocation per block.
 func (e *Engine) addWatcher(key WatchKey, p *Proc, pred func() bool) {
-	e.watchers[key] = append(e.watchers[key], &blockedProc{p: p, pred: pred, wake: p.now})
+	p.blockRec.p = p
+	p.blockRec.pred = pred
+	p.blockRec.wake = p.now
+	e.watchers[key] = append(e.watchers[key], &p.blockRec)
 }
 
 // reportDeadlock panics with a description of all blocked processes.

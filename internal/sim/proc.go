@@ -18,17 +18,27 @@ type Proc struct {
 	now   Time
 	state procState
 
+	// heapIdx is the process's position in the engine's run queue, or
+	// -1 when not queued (running, blocked, or done).
+	heapIdx int
+
+	// blockRec is the process's reusable watcher record: a process
+	// blocks on at most one watch key at a time, and the entry is
+	// removed from the watcher list exactly when the process wakes.
+	blockRec blockedProc
+
 	resume chan struct{} // engine -> proc: you may run
 	yield  chan struct{} // proc -> engine: my step is done
 }
 
 func newProc(e *Engine, id int) *Proc {
 	return &Proc{
-		id:     id,
-		eng:    e,
-		state:  stateNew,
-		resume: make(chan struct{}),
-		yield:  make(chan struct{}),
+		id:      id,
+		eng:     e,
+		state:   stateNew,
+		heapIdx: -1,
+		resume:  make(chan struct{}),
+		yield:   make(chan struct{}),
 	}
 }
 
@@ -67,7 +77,19 @@ func (p *Proc) step() {
 }
 
 // doYield returns control to the engine and waits to be resumed.
+//
+// Fast path: if the process is still runnable and still strictly first in
+// (clock, id) order among all runnable processes, the engine would hand
+// control straight back — so skip the channel round-trip (two goroutine
+// switches) and keep running. The schedule is byte-identical; only the
+// bookkeeping is elided.
 func (p *Proc) doYield() {
+	if p.state == stateRunnable {
+		q := &p.eng.runq
+		if len(q.heap) == 0 || q.less(p, q.heap[0]) {
+			return
+		}
+	}
 	p.yield <- struct{}{}
 	<-p.resume
 }
@@ -107,7 +129,7 @@ func (p *Proc) Block(key WatchKey, pred func() bool) Time {
 }
 
 // unblock makes a blocked process runnable again at time wake (or its own
-// clock, whichever is later).
+// clock, whichever is later) and re-queues it with the scheduler.
 func (p *Proc) unblock(wake Time) {
 	if p.state != stateBlocked {
 		return
@@ -116,4 +138,5 @@ func (p *Proc) unblock(wake Time) {
 		p.now = wake
 	}
 	p.state = stateRunnable
+	p.eng.runq.push(p)
 }

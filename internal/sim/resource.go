@@ -64,6 +64,7 @@ func (r *Resource) reserve(t Time, service Duration, units int64) (finish Time) 
 	}
 	finish = start + service
 	r.free = finish
+	r.pruneFinished(t)
 	r.inflight = append(r.inflight, finish)
 
 	r.reservations++
@@ -77,14 +78,23 @@ func (r *Resource) reserve(t Time, service Duration, units int64) (finish Time) 
 // the system (queued or in service) at time t. Because reservations are
 // issued in nondecreasing time order, pruning finished entries is exact.
 func (r *Resource) InflightAt(t Time) int {
+	r.pruneFinished(t)
+	return len(r.inflight)
+}
+
+// pruneFinished drops reservations already finished at t. Reservations
+// are issued in nondecreasing time order, so the finished set is an exact
+// prefix; compaction is in place so the slice keeps its capacity and
+// stops allocating once warm.
+func (r *Resource) pruneFinished(t Time) {
 	i := 0
 	for i < len(r.inflight) && r.inflight[i] <= t {
 		i++
 	}
 	if i > 0 {
-		r.inflight = r.inflight[i:]
+		n := copy(r.inflight, r.inflight[i:])
+		r.inflight = r.inflight[:n]
 	}
-	return len(r.inflight)
 }
 
 // NextFree reports when the server next becomes idle.

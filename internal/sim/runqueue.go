@@ -1,0 +1,86 @@
+package sim
+
+// runQueue is an indexed binary min-heap of runnable processes keyed on
+// (clock, id). It gives the scheduler O(log n) step cost instead of the
+// former O(n) scan over all processes. The index (Proc.heapIdx) lets the
+// engine assert membership invariants cheaply: a process is in the queue
+// iff it is runnable and not currently executing its step.
+//
+// No decrease-key operation is needed: a process's clock only changes
+// while it is outside the queue (it advances its own clock while running,
+// and unblock adjusts the clock before the process is pushed back).
+type runQueue struct {
+	heap []*Proc
+}
+
+// less orders the heap by (clock, id) — identical to the former linear
+// scan's tie-breaking, so schedules are byte-identical.
+func (q *runQueue) less(a, b *Proc) bool {
+	return a.now < b.now || (a.now == b.now && a.id < b.id)
+}
+
+// push inserts p. It panics if p is already queued — that would mean the
+// scheduler lost track of who is running.
+func (q *runQueue) push(p *Proc) {
+	if p.heapIdx >= 0 {
+		panic("sim: process pushed onto run queue twice")
+	}
+	p.heapIdx = len(q.heap)
+	q.heap = append(q.heap, p)
+	q.siftUp(p.heapIdx)
+}
+
+// pop removes and returns the process with the smallest (clock, id), or
+// nil if the queue is empty.
+func (q *runQueue) pop() *Proc {
+	if len(q.heap) == 0 {
+		return nil
+	}
+	p := q.heap[0]
+	last := len(q.heap) - 1
+	q.heap[0] = q.heap[last]
+	q.heap[0].heapIdx = 0
+	q.heap[last] = nil
+	q.heap = q.heap[:last]
+	if last > 0 {
+		q.siftDown(0)
+	}
+	p.heapIdx = -1
+	return p
+}
+
+func (q *runQueue) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(q.heap[i], q.heap[parent]) {
+			return
+		}
+		q.swap(i, parent)
+		i = parent
+	}
+}
+
+func (q *runQueue) siftDown(i int) {
+	n := len(q.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && q.less(q.heap[l], q.heap[min]) {
+			min = l
+		}
+		if r < n && q.less(q.heap[r], q.heap[min]) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		q.swap(i, min)
+		i = min
+	}
+}
+
+func (q *runQueue) swap(i, j int) {
+	q.heap[i], q.heap[j] = q.heap[j], q.heap[i]
+	q.heap[i].heapIdx = i
+	q.heap[j].heapIdx = j
+}

@@ -242,3 +242,39 @@ func TestResourceProperties(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestRunQueueOrdering exercises the indexed min-heap directly: pops come
+// out in (clock, id) order regardless of push order.
+func TestRunQueueOrdering(t *testing.T) {
+	e := NewEngine(6)
+	clocks := []Time{30, 10, 20, 10, 5, 30}
+	var q runQueue
+	for i, p := range e.procs {
+		p.now = clocks[i]
+		q.push(p)
+	}
+	want := []int{4, 1, 3, 2, 0, 5} // by (clock, id)
+	for _, id := range want {
+		p := q.pop()
+		if p == nil || p.id != id {
+			t.Fatalf("pop = %v, want proc %d", p, id)
+		}
+	}
+	if q.pop() != nil {
+		t.Fatal("queue not empty after all pops")
+	}
+}
+
+// TestRunQueueDoublePushPanics guards the scheduler invariant that a
+// process is queued at most once.
+func TestRunQueueDoublePushPanics(t *testing.T) {
+	e := NewEngine(1)
+	var q runQueue
+	q.push(e.procs[0])
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double push did not panic")
+		}
+	}()
+	q.push(e.procs[0])
+}

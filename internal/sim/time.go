@@ -2,9 +2,17 @@
 //
 // Simulated cores run ordinary Go code inside goroutines; a central
 // scheduler admits exactly one core at a time — always the runnable core
-// with the smallest virtual clock — so simulation results are fully
-// deterministic and timestamps taken on different cores are directly
-// comparable, like the SCC's global hardware counters.
+// with the smallest virtual clock (ties broken by process id) — so
+// simulation results are fully deterministic and timestamps taken on
+// different cores are directly comparable, like the SCC's global
+// hardware counters.
+//
+// The scheduler keeps runnable processes in an indexed binary min-heap
+// keyed on (clock, id), maintained incrementally as processes block,
+// wake and finish, so each scheduling decision is O(log n); a process
+// that remains the earliest runnable continues without a goroutine
+// round-trip. Both are pure wall-clock optimisations: the admission
+// order is identical to scanning every process each step.
 package sim
 
 import "fmt"
