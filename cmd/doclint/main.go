@@ -1,0 +1,200 @@
+// Command doclint enforces the repo's documentation contract in CI:
+//
+//   - every Go package in the module (root, internal/*, cmd/*) has a
+//     package-level doc comment;
+//   - every exported identifier in the packages listed in strictPkgs
+//     (the root package and the model/occoll subsystems) has a doc
+//     comment — a group doc on a const/var/type block covers the block;
+//   - every relative link in the listed markdown files points at a file
+//     that exists.
+//
+// It prints one line per violation and exits non-zero if there are any,
+// like go vet. Run it from the repo root: go run ./cmd/doclint
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// strictPkgs are the directories whose exported identifiers must all
+// carry doc comments (repo-root relative).
+var strictPkgs = []string{".", "internal/model", "internal/occoll"}
+
+// markdownFiles are checked for dangling relative links.
+var markdownFiles = []string{"README.md", "ARCHITECTURE.md", "examples/README.md"}
+
+func main() {
+	var violations []string
+	complain := func(format string, args ...any) {
+		violations = append(violations, fmt.Sprintf(format, args...))
+	}
+
+	for _, dir := range goPackageDirs(".") {
+		checkPackageDoc(dir, complain)
+	}
+	for _, dir := range strictPkgs {
+		checkExportedDocs(dir, complain)
+	}
+	for _, md := range markdownFiles {
+		checkMarkdownLinks(md, complain)
+	}
+
+	for _, v := range violations {
+		fmt.Println(v)
+	}
+	if len(violations) > 0 {
+		fmt.Printf("doclint: %d violation(s)\n", len(violations))
+		os.Exit(1)
+	}
+	fmt.Println("doclint: ok")
+}
+
+// goPackageDirs lists every directory under root containing non-test Go
+// files, skipping hidden directories.
+func goPackageDirs(root string) []string {
+	var dirs []string
+	seen := map[string]bool{}
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() && strings.HasPrefix(info.Name(), ".") && path != root {
+			return filepath.SkipDir
+		}
+		if !info.IsDir() && strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			dir := filepath.Dir(path)
+			if !seen[dir] {
+				seen[dir] = true
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		// A truncated walk would silently shrink lint coverage; fail
+		// loudly instead of letting the docs job pass green.
+		fmt.Fprintf(os.Stderr, "doclint: walking %s: %v\n", root, err)
+		os.Exit(2)
+	}
+	return dirs
+}
+
+// parseDir parses a directory's non-test Go files.
+func parseDir(dir string) (*token.FileSet, []*ast.File) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doclint: %s: %v\n", dir, err)
+		os.Exit(2)
+	}
+	var files []*ast.File
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			files = append(files, f)
+		}
+	}
+	return fset, files
+}
+
+// checkPackageDoc requires at least one file in the package to carry a
+// package doc comment.
+func checkPackageDoc(dir string, complain func(string, ...any)) {
+	_, files := parseDir(dir)
+	if len(files) == 0 {
+		return
+	}
+	for _, f := range files {
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			return
+		}
+	}
+	complain("%s: package %s has no package doc comment", dir, files[0].Name.Name)
+}
+
+// checkExportedDocs requires a doc comment on every exported top-level
+// identifier (and every exported method) in the package.
+func checkExportedDocs(dir string, complain func(string, ...any)) {
+	fset, files := parseDir(dir)
+	pos := func(n ast.Node) string {
+		p := fset.Position(n.Pos())
+		return fmt.Sprintf("%s:%d", p.Filename, p.Line)
+	}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Name.IsExported() && d.Doc == nil {
+					kind := "function"
+					if d.Recv != nil {
+						kind = "method"
+					}
+					complain("%s: exported %s %s has no doc comment", pos(d), kind, d.Name.Name)
+				}
+			case *ast.GenDecl:
+				if d.Doc != nil {
+					continue // a group doc covers the whole block
+				}
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if s.Name.IsExported() && s.Doc == nil && s.Comment == nil {
+							complain("%s: exported type %s has no doc comment", pos(s), s.Name.Name)
+						}
+					case *ast.ValueSpec:
+						for _, name := range s.Names {
+							if name.IsExported() && s.Doc == nil && s.Comment == nil {
+								complain("%s: exported %s %s has no doc comment", pos(s), declKind(d.Tok), name.Name)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// declKind names a GenDecl token for messages.
+func declKind(tok token.Token) string {
+	if tok == token.CONST {
+		return "const"
+	}
+	return "var"
+}
+
+// linkRe matches markdown link targets: [text](target).
+var linkRe = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// checkMarkdownLinks verifies that every relative link target in the
+// file exists on disk (anchors stripped; absolute URLs skipped).
+func checkMarkdownLinks(md string, complain func(string, ...any)) {
+	data, err := os.ReadFile(md)
+	if err != nil {
+		complain("%s: %v", md, err)
+		return
+	}
+	for _, m := range linkRe.FindAllStringSubmatch(string(data), -1) {
+		target := m[1]
+		if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+			continue
+		}
+		if i := strings.IndexByte(target, '#'); i >= 0 {
+			target = target[:i]
+		}
+		if target == "" {
+			continue // pure in-page anchor
+		}
+		resolved := filepath.Join(filepath.Dir(md), target)
+		if _, err := os.Stat(resolved); err != nil {
+			complain("%s: dangling link %q (%s does not exist)", md, m[1], resolved)
+		}
+	}
+}

@@ -7,6 +7,7 @@
 //	ocbench all                  # run everything
 //	ocbench fig8a fig8b table2   # run specific artifacts
 //	ocbench fig-allreduce        # one-sided vs two-sided allreduce (§7)
+//	ocbench scale                # model vs simulation on 48..384-core meshes
 //	ocbench perf                 # wall-clock simulator throughput -> BENCH_simperf.json
 //
 // Flags:
@@ -64,6 +65,9 @@ func main() {
 		for _, e := range harness.Registry() {
 			names = append(names, e.Name)
 		}
+	case "scale":
+		// Convenience alias for the topology-scaling experiment.
+		names = append([]string{"fig-scale"}, args[1:]...)
 	default:
 		names = args
 	}

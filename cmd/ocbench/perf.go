@@ -37,6 +37,19 @@ type simPerf struct {
 	SweepSequentialMs float64 `json:"sweep_sequential_ms"`
 	SweepParallelMs   float64 `json:"sweep_parallel_ms"`
 	SweepSpeedup      float64 `json:"sweep_speedup"`
+
+	// Topology scaling: one 96-CL OC-Bcast k=7 per ScaleMeshes topology
+	// (48..384 cores), so the trajectory covers how simulator wall-clock
+	// cost grows with mesh size, not just the fixed 48-core workload.
+	Scale []scalePerf `json:"scale"`
+}
+
+// scalePerf is one topology point of the perf file's scaling section.
+type scalePerf struct {
+	Mesh        string  `json:"mesh"`
+	Cores       int     `json:"cores"`
+	MsPerSim    float64 `json:"ms_per_sim"`
+	SimulatedUs float64 `json:"simulated_us"`
 }
 
 // allocsPerRun reports the mean number of heap allocations per call to
@@ -102,6 +115,29 @@ func runPerf(cfg scc.Config, effort int) error {
 		}
 	}
 
+	// Topology scaling: wall-clock cost of one broadcast simulation per
+	// mesh size (iteration counts kept small; the point is the trend).
+	for _, topo := range harness.ScaleMeshes() {
+		cfg2 := cfg
+		cfg2.Topo = topo
+		n := topo.NumCores()
+		run := func() float64 {
+			return harness.MeanLatency(cfg2, harness.Alg{Name: "oc", K: 7}, n, 96, 1)
+		}
+		simUs := run() // warm-up; also records the simulated time
+		iters := 2 * effort
+		t0 = time.Now()
+		for i := 0; i < iters; i++ {
+			run()
+		}
+		perf.Scale = append(perf.Scale, scalePerf{
+			Mesh:        fmt.Sprintf("%dx%d", topo.W, topo.H),
+			Cores:       n,
+			MsPerSim:    time.Since(t0).Seconds() * 1e3 / float64(iters),
+			SimulatedUs: simUs,
+		})
+	}
+
 	out, err := json.MarshalIndent(perf, "", "  ")
 	if err != nil {
 		return err
@@ -117,5 +153,9 @@ func runPerf(cfg scc.Config, effort int) error {
 `, perf.BcastMsPerSim, perf.BcastSimsPerSec, perf.AllocsPerBcast,
 		perf.SweepCells, perf.SweepSequentialMs, perf.SweepParallelMs,
 		perf.SweepSpeedup, perf.GOMAXPROCS)
+	for _, s := range perf.Scale {
+		fmt.Printf("  scale %-6s (%3d cores):     %.2f ms/simulation (%.0f simulated µs)\n",
+			s.Mesh, s.Cores, s.MsPerSim, s.SimulatedUs)
+	}
 	return nil
 }

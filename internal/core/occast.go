@@ -96,7 +96,11 @@ type Broadcaster struct {
 	fenceSeq uint64
 }
 
-// NewBroadcaster prepares OC-Bcast state for one core.
+// NewBroadcaster prepares OC-Bcast state for one core. The buffer/flag
+// layout (and the fence lines above) anchor at the paper-standard
+// 256-line per-core MPB share; topologies below that cannot host the
+// protocol (the public API rejects them, and a smaller MPB fails fast on
+// the first out-of-range line access).
 func NewBroadcaster(core *rma.Core, cfg Config) *Broadcaster {
 	if err := cfg.Validate(); err != nil {
 		panic(err)

@@ -1,0 +1,104 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/scc"
+)
+
+// ScaleMeshes is the fig-scale topology sweep: the real 48-core SCC and
+// progressively larger meshes of the same tiles — 96, 192 and 384 cores.
+// Every layer of the stack (routing, MPB addressing, tree builders,
+// model hop terms) is parameterized by the topology, so the same
+// collectives run unmodified at every size.
+func ScaleMeshes() []scc.Topology {
+	return []scc.Topology{
+		scc.SCC(),        //  48 cores, the paper's chip
+		scc.Mesh(8, 6),   //  96 cores
+		scc.Mesh(12, 8),  // 192 cores
+		scc.Mesh(16, 12), // 384 cores
+	}
+}
+
+// ScalePoint is one cell of the scaling sweep: a collective on one
+// topology, simulated and predicted by the closed-form model with
+// topology-derived hop terms.
+type ScalePoint struct {
+	Topo    scc.Topology
+	Op      string // "bcast-oc" or "allreduce-oc"
+	Lines   int
+	K       int
+	SimUs   float64 // simulated mean latency, µs
+	ModelUs float64 // closed-form prediction, µs
+	ErrPct  float64 // 100·(model−sim)/sim
+}
+
+// ScaleSweep cross-validates the analytical model against the simulator
+// for OC-Bcast and AllReduceOC on every ScaleMeshes topology, at fan-out
+// k = 7 and a message of `lines` cache lines. Cells are sharded across
+// ParallelMap workers; like every harness sweep, the simulated values
+// are independent of the sharding.
+func ScaleSweep(cfg scc.Config, lines, reps int) []ScalePoint {
+	const k = 7
+	type cell struct {
+		topo scc.Topology
+		op   string
+	}
+	var cells []cell
+	for _, m := range ScaleMeshes() {
+		cells = append(cells, cell{m, "bcast-oc"}, cell{m, "allreduce-oc"})
+	}
+	mdl := model.New(cfg.Params)
+	return ParallelMap(len(cells), func(i int) ScalePoint {
+		c := cells[i]
+		cfg2 := cfg
+		cfg2.Topo = c.topo
+		n := c.topo.NumCores()
+		pt := ScalePoint{Topo: c.topo, Op: c.op, Lines: lines, K: k}
+		switch c.op {
+		case "bcast-oc":
+			pt.SimUs = mean(MeasureBcast(cfg2, Alg{Name: "oc", K: k}, n, lines, reps))
+			pt.ModelUs = mdl.OCBcastLatency(model.BcastParamsFor(c.topo, n, k), lines, k).Microseconds()
+		case "allreduce-oc":
+			pt.SimUs = mean(MeasureAllReduce(cfg2, VariantOC, k, n, lines, reps))
+			pt.ModelUs = mdl.OCAllReduceLatency(model.ReduceParamsFor(c.topo, n, k), lines, k).Microseconds()
+		}
+		pt.ErrPct = 100 * (pt.ModelUs - pt.SimUs) / pt.SimUs
+		return pt
+	})
+}
+
+// FigScale renders the topology-scaling experiment: simulated vs modeled
+// latency for OC-Bcast and AllReduceOC from 48 to 384 cores. It is the
+// scale-out counterpart of Figure 8a: the paper validates the model on
+// the one real 48-core chip; this table shows the same model, with hop
+// terms derived from each topology, tracking the simulator across 8× the
+// paper's core count.
+func FigScale(cfg scc.Config, effort int) *Table {
+	if effort < 1 {
+		effort = 1
+	}
+	const lines = 96 // one full Moc chunk
+	pts := ScaleSweep(cfg, lines, 1+effort)
+
+	tbl := &Table{
+		Title:   "fig-scale — model vs simulation across mesh sizes (µs)",
+		Columns: []string{"mesh", "cores", "op", "CL", "sim", "model", "err%"},
+		Notes: []string{
+			"OC-Bcast and AllReduceOC at k=7; model hop terms (DMpb, DMem)",
+			"derived from each topology's k-ary tree and controller placement.",
+			"Cross-validation target: |err| <= 15% at every size.",
+		},
+	}
+	for _, p := range pts {
+		tbl.AddRow(
+			fmt.Sprintf("%dx%d", p.Topo.W, p.Topo.H), fmt.Sprint(p.Topo.NumCores()), p.Op,
+			fmt.Sprint(p.Lines),
+			fmt.Sprintf("%.2f", p.SimUs),
+			fmt.Sprintf("%.2f", p.ModelUs),
+			fmt.Sprintf("%+.2f", p.ErrPct),
+		)
+	}
+	return tbl
+}

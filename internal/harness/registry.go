@@ -71,6 +71,12 @@ func Registry() []Experiment {
 			},
 		},
 		{
+			Name: "fig-scale", Desc: "model vs simulation across mesh sizes 48-384 cores",
+			Run: func(cfg scc.Config, effort int) ([]*Table, error) {
+				return []*Table{FigScale(cfg, effort)}, nil
+			},
+		},
+		{
 			Name: "mesh", Desc: "mesh link stress: no NoC contention (§3.3)",
 			Run: func(cfg scc.Config, effort int) ([]*Table, error) {
 				return []*Table{MeshStress(cfg, 10*effort)}, nil

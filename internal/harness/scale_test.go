@@ -1,0 +1,56 @@
+package harness
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/scc"
+)
+
+// TestScaleCrossValidation is the fig-scale acceptance gate: the
+// closed-form model with topology-derived hop terms must track the
+// simulator within 15% for OC-Bcast and AllReduceOC on every sweep
+// topology (48, 96, 192 and 384 cores), at one-chunk and multi-chunk
+// message sizes.
+func TestScaleCrossValidation(t *testing.T) {
+	cfg := scc.DefaultConfig()
+	for _, lines := range []int{96, 256} {
+		for _, p := range ScaleSweep(cfg, lines, 2) {
+			if math.Abs(p.ErrPct) > 15 {
+				t.Errorf("%v %s %d CL: sim %.2f µs, model %.2f µs, err %+.2f%% exceeds 15%%",
+					p.Topo, p.Op, p.Lines, p.SimUs, p.ModelUs, p.ErrPct)
+			}
+			if p.SimUs <= 0 || p.ModelUs <= 0 {
+				t.Errorf("%v %s: non-positive latency (sim %v, model %v)", p.Topo, p.Op, p.SimUs, p.ModelUs)
+			}
+		}
+	}
+}
+
+// TestScaleDeterminism pins run-to-run determinism beyond 48 cores: the
+// parametric-mesh simulations must produce bit-identical latencies on
+// repeated sweeps, like the 6×4 golden points.
+func TestScaleDeterminism(t *testing.T) {
+	cfg := scc.DefaultConfig()
+	a := ScaleSweep(cfg, 96, 2)
+	b := ScaleSweep(cfg, 96, 2)
+	if len(a) != len(b) {
+		t.Fatalf("sweep lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].SimUs != b[i].SimUs {
+			t.Errorf("%v %s: run 1 = %v µs, run 2 = %v µs", a[i].Topo, a[i].Op, a[i].SimUs, b[i].SimUs)
+		}
+	}
+}
+
+// TestMeshGoldenPoint pins one beyond-SCC simulated latency exactly, the
+// same contract as the 6×4 golden points: future refactors may change
+// wall-clock behaviour but never simulated time.
+func TestMeshGoldenPoint(t *testing.T) {
+	cfg := scc.DefaultConfig()
+	cfg.Topo = scc.Mesh(8, 6)
+	got := MeasureBcast(cfg, Alg{Name: "oc", K: 7}, cfg.Topo.NumCores(), 96, 2)
+	want := []float64{193.696, 193.696}
+	checkGolden(t, "mesh-8x6/oc-k7-96CL", got, want)
+}

@@ -11,7 +11,7 @@ import (
 
 func newTestMPB() (*sim.Engine, *MPB) {
 	e := sim.NewEngine(1)
-	m := NewMPB(e, 0, sim.Micros(0.0065))
+	m := NewMPB(e, 0, scc.MPBLinesPerCore, sim.Micros(0.0065))
 	return e, m
 }
 
@@ -83,7 +83,7 @@ func TestMPBLineBounds(t *testing.T) {
 // not at the writer's completion time or the waiter's block time.
 func TestWaitU64WakesAtEffectiveTime(t *testing.T) {
 	e := sim.NewEngine(2)
-	m := NewMPB(e, 0, sim.Micros(0.0065))
+	m := NewMPB(e, 0, scc.MPBLinesPerCore, sim.Micros(0.0065))
 	var wokeAt sim.Time
 	e.Run(func(p *sim.Proc) {
 		switch p.ID() {
@@ -108,7 +108,7 @@ func TestWaitU64WakesAtEffectiveTime(t *testing.T) {
 // write's effective time must still wake at that effective time.
 func TestWaitU64AlreadySatisfiedButPending(t *testing.T) {
 	e := sim.NewEngine(1)
-	m := NewMPB(e, 0, sim.Micros(0.0065))
+	m := NewMPB(e, 0, scc.MPBLinesPerCore, sim.Micros(0.0065))
 	line := make([]byte, scc.CacheLine)
 	line[0] = 1
 	m.WriteLine(0, line, 10*sim.Microsecond) // pending, lands at 10µs
@@ -124,7 +124,7 @@ func TestWaitU64AlreadySatisfiedButPending(t *testing.T) {
 
 func TestWaitU64SkipsNonSatisfyingWrites(t *testing.T) {
 	e := sim.NewEngine(2)
-	m := NewMPB(e, 0, sim.Micros(0.0065))
+	m := NewMPB(e, 0, scc.MPBLinesPerCore, sim.Micros(0.0065))
 	var wokeAt sim.Time
 	e.Run(func(p *sim.Proc) {
 		switch p.ID() {

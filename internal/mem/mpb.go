@@ -1,7 +1,10 @@
 // Package mem implements the SCC's storage components as seen by the
-// simulator: per-core Message Passing Buffers (MPB) with cache-line
-// atomicity and a FIFO port contention model, per-core private off-chip
-// memory, and a simple L1-style cache model for private-memory reads.
+// simulator: per-core Message Passing Buffers (MPB, paper §2.1) with the
+// 32-byte line atomicity §5.1 relies on and the FIFO port contention
+// model of §3.3, per-core private off-chip memory, and the L1-style
+// cache model for private-memory reads that Formula 14 exploits. MPB
+// capacity comes from the chip's topology (256 lines per core on the
+// real SCC).
 //
 // Writes carry an effective virtual timestamp: a read at time t observes
 // exactly the writes whose effective time is ≤ t. Because the engine
@@ -23,19 +26,21 @@ import (
 	"repro/internal/sim"
 )
 
-// MPB is one core's 8 KB message-passing buffer. All accesses are at
+// MPB is one core's message-passing buffer (8 KB on the real SCC; the
+// capacity comes from the chip's topology). All accesses are at
 // cache-line granularity; the SCC guarantees read/write atomicity per
 // 32 B line (paper §5.1), which the simulator enforces structurally by
 // only moving whole lines.
 type MPB struct {
 	owner int // core id
+	lines int // capacity in cache lines
 	eng   *sim.Engine
 	data  []byte
 
 	// pending holds not-yet-visible write extents in issue order. The
-	// per-line subsequence (extents covering a given line) is exactly
-	// the former per-line queue: writes are issued in nondecreasing
-	// time order, and each line folds its own prefix independently.
+	// extents covering a given line form that line's write queue:
+	// writes are issued in nondecreasing time order, and each line
+	// folds its own prefix independently.
 	pending []*pendingExtent
 	// free recycles fully folded extents (and their line buffers) so the
 	// steady-state write path allocates nothing.
@@ -54,21 +59,23 @@ type MPB struct {
 	accessLog map[int][]sim.Time
 }
 
-// extentWords sizes the per-extent applied bitmap: an extent can span at
-// most the whole MPB (256 lines).
-const extentWords = (scc.MPBLinesPerCore + 63) / 64
-
 // pendingExtent is one not-yet-folded bulk write of n consecutive lines
 // starting at line0, where line line0+i becomes visible at eff0+i·stride.
 // applied marks lines already folded into the backing store (each line
-// settles independently, in its own prefix order).
+// settles independently, in its own prefix order); it is sized to the
+// extent (one bit per line) and recycled with it, so MPB capacity can
+// vary per topology without a compile-time bound.
 type pendingExtent struct {
 	line0, n int
 	eff0     sim.Time
 	stride   sim.Duration
 	data     []byte // n×32 bytes, owned by the MPB
-	applied  [extentWords]uint64
-	nApplied int
+	applied  []uint64
+	// appliedArr backs applied without a separate heap allocation for
+	// extents of up to 256 lines (any default-topology transfer); larger
+	// MPB shares fall back to an owned slice.
+	appliedArr [4]uint64
+	nApplied   int
 }
 
 func (x *pendingExtent) covers(line int) bool {
@@ -95,12 +102,17 @@ func (x *pendingExtent) markApplied(line int) {
 	x.nApplied++
 }
 
-// NewMPB creates core owner's MPB backed by engine e.
-func NewMPB(e *sim.Engine, owner int, readSvc sim.Duration) *MPB {
+// NewMPB creates core owner's MPB of `lines` cache lines (the per-core
+// share from the chip's topology; 256 on the real SCC) backed by engine e.
+func NewMPB(e *sim.Engine, owner, lines int, readSvc sim.Duration) *MPB {
+	if lines < 1 {
+		panic(fmt.Sprintf("mem: MPB[%d] capacity %d lines must be positive", owner, lines))
+	}
 	return &MPB{
 		owner:      owner,
+		lines:      lines,
 		eng:        e,
-		data:       make([]byte, scc.MPBBytesPerCore),
+		data:       make([]byte, lines*scc.CacheLine),
 		Port:       sim.NewResource(fmt.Sprintf("mpb[%d]", owner), readSvc),
 		lastAccess: make(map[int]sim.Time),
 		accessLog:  make(map[int][]sim.Time),
@@ -147,7 +159,7 @@ func (m *MPB) ActiveAccessors(t sim.Time, window sim.Duration) int {
 func (m *MPB) Owner() int { return m.owner }
 
 // Lines reports the MPB capacity in cache lines.
-func (m *MPB) Lines() int { return scc.MPBLinesPerCore }
+func (m *MPB) Lines() int { return m.lines }
 
 // watchKey returns the engine watch key for a line of this MPB.
 func (m *MPB) watchKey(line int) sim.WatchKey {
@@ -155,8 +167,8 @@ func (m *MPB) watchKey(line int) sim.WatchKey {
 }
 
 func (m *MPB) checkLine(line int) {
-	if line < 0 || line >= scc.MPBLinesPerCore {
-		panic(fmt.Sprintf("mem: MPB[%d] line %d out of range [0,%d)", m.owner, line, scc.MPBLinesPerCore))
+	if line < 0 || line >= m.lines {
+		panic(fmt.Sprintf("mem: MPB[%d] line %d out of range [0,%d)", m.owner, line, m.lines))
 	}
 }
 
@@ -205,13 +217,17 @@ func (m *MPB) compact() {
 }
 
 func (m *MPB) recycle(x *pendingExtent) {
-	x.applied = [extentWords]uint64{}
+	for i := range x.applied {
+		x.applied[i] = 0
+	}
 	x.nApplied = 0
 	x.n = 0
 	m.free = append(m.free, x)
 }
 
 // newExtent returns a recycled or fresh extent with room for n lines.
+// Both the data buffer and the applied bitmap are recycled, so the
+// steady-state write path allocates nothing.
 func (m *MPB) newExtent(n int) *pendingExtent {
 	var x *pendingExtent
 	if k := len(m.free); k > 0 {
@@ -226,6 +242,15 @@ func (m *MPB) newExtent(n int) *pendingExtent {
 		x.data = make([]byte, need)
 	}
 	x.data = x.data[:need]
+	words := (n + 63) / 64
+	switch {
+	case words <= len(x.appliedArr):
+		x.applied = x.appliedArr[:words]
+	case cap(x.applied) >= words:
+		x.applied = x.applied[:words]
+	default:
+		x.applied = make([]uint64, words)
+	}
 	x.n = n
 	return x
 }

@@ -12,7 +12,8 @@ import (
 // interference on private memory (§3.3), so Private needs no port model.
 //
 // Storage grows on demand in pages so large broadcast payloads (up to
-// 1 MiB per the paper's Figure 8b) don't force 48 full-size allocations.
+// 1 MiB per the paper's Figure 8b) don't force a full-size allocation on
+// every core of the chip.
 type Private struct {
 	owner int
 	pages map[int]*page

@@ -3,6 +3,12 @@
 // broadcast latency predictors for OC-Bcast and the binomial tree, and
 // peak-throughput predictors for OC-Bcast and scatter-allgather. It is
 // pure arithmetic — no simulation — and regenerates Figure 6 and Table 2.
+//
+// The formulas' hop terms are functions of the chip geometry:
+// BcastParamsFor / ReduceParamsFor derive the distance parameters from a
+// scc.Topology (mean tree-neighbour and memory-controller distances), so
+// the same closed forms predict latency on meshes far larger than the
+// 48-core chip the paper measured (see the fig-scale experiment).
 package model
 
 import (
@@ -30,9 +36,14 @@ func (m Model) CMpbW(d int) sim.Duration { return m.P.OMpb + sim.Duration(2*d)*m
 // CMpbR is Formula 3: read one line from an MPB at distance d.
 func (m Model) CMpbR(d int) sim.Duration { return m.P.OMpb + sim.Duration(2*d)*m.P.Lhop }
 
-// LMemW is Formula 4; CMemW is Formula 5; CMemR is Formula 6.
+// LMemW is Formula 4: the latency of writing one line to off-chip memory
+// at controller distance d.
 func (m Model) LMemW(d int) sim.Duration { return m.P.OMemW + sim.Duration(d)*m.P.Lhop }
+
+// CMemW is Formula 5: the completion time of that write.
 func (m Model) CMemW(d int) sim.Duration { return m.P.OMemW + sim.Duration(2*d)*m.P.Lhop }
+
+// CMemR is Formula 6: read one line from off-chip memory at distance d.
 func (m Model) CMemR(d int) sim.Duration { return m.P.OMemR + sim.Duration(2*d)*m.P.Lhop }
 
 // --- Whole-operation formulas (7–12); sizes in cache lines ---

@@ -1,0 +1,81 @@
+package model
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/scc"
+)
+
+// Topology-derived model parameters. The paper's §5.1 convention fixes
+// every hop term at distance 1 because on the 6×4 chip the hop cost
+// (2d·Lhop ≤ 0.09 µs) is dwarfed by the per-line overheads; on larger
+// meshes the router distances grow with w+h and the hop terms become a
+// first-order effect, so here the distance parameters of BcastParams are
+// derived from the topology: the mean router distance between
+// parent/child MPBs of the k-ary propagation tree actually built by the
+// collectives (root 0, rank = core id), and the mean memory-controller
+// distance over the participating cores.
+
+// MeanTreeDistance is the mean parent↔child router hop distance of the
+// k-ary propagation tree core.BuildTree constructs over p cores with
+// root 0 on topology t — the DMpb the simulated collectives actually see.
+func MeanTreeDistance(t scc.Topology, p, k int) float64 {
+	if p <= 1 {
+		return 1
+	}
+	sum := 0
+	for rank := 1; rank < p; rank++ {
+		parent := (rank - 1) / k
+		sum += t.CoreDistance(parent, rank)
+	}
+	return float64(sum) / float64(p-1)
+}
+
+// MeanMemDistance is the mean router distance from the first p cores of
+// topology t to their memory controllers — the DMem of the model's
+// off-chip terms.
+func MeanMemDistance(t scc.Topology, p int) float64 {
+	if p < 1 {
+		return 1
+	}
+	sum := 0
+	for c := 0; c < p; c++ {
+		sum += t.MemDistance(c)
+	}
+	return float64(sum) / float64(p)
+}
+
+// roundDist rounds a mean distance to the nearest whole hop count for
+// the integer distance parameters of BcastParams, never below 1.
+func roundDist(d float64) int {
+	r := int(math.Round(d))
+	if r < 1 {
+		return 1
+	}
+	return r
+}
+
+// BcastParamsFor derives broadcast model parameters for the first p
+// cores of topology t with fan-out k: §5.1's chunk sizes with the hop
+// terms replaced by the topology's mean tree and memory distances.
+func BcastParamsFor(t scc.Topology, p, k int) BcastParams {
+	bp := DefaultBcastParams()
+	bp.P = p
+	bp.DMpb = roundDist(MeanTreeDistance(t, p, k))
+	bp.DMem = roundDist(MeanMemDistance(t, p))
+	return bp
+}
+
+// ReduceParamsFor derives reduction model parameters for the first p
+// cores of topology t with fan-out k. The reduction pipeline runs over
+// the same k-ary tree as the broadcast, so the distances are the same;
+// the function exists so call sites say which model they parameterize.
+func ReduceParamsFor(t scc.Topology, p, k int) BcastParams {
+	return BcastParamsFor(t, p, k)
+}
+
+// TreeDepth re-exports the propagation-tree depth for p cores and
+// fan-out k (the O(log_k p) factor of Formula 13) so model users don't
+// need to import internal/core for scaling studies.
+func TreeDepth(p, k int) int { return core.TreeDepth(p, k) }

@@ -13,16 +13,18 @@ import (
 	"repro/internal/sim"
 )
 
-// Mesh tracks per-link FIFO occupancy for every directed link of the
-// 6×4 tile grid.
+// Mesh tracks per-link FIFO occupancy for every directed link of a w×h
+// tile grid.
 type Mesh struct {
+	topo    scc.Topology
 	linkSvc sim.Duration
 	links   map[scc.Link]*sim.Resource
 }
 
-// NewMesh creates a mesh whose links serve one 32 B packet per linkSvc.
-func NewMesh(linkSvc sim.Duration) *Mesh {
-	return &Mesh{linkSvc: linkSvc, links: make(map[scc.Link]*sim.Resource)}
+// NewMesh creates a mesh over the given topology whose links serve one
+// 32 B packet per linkSvc.
+func NewMesh(topo scc.Topology, linkSvc sim.Duration) *Mesh {
+	return &Mesh{topo: topo, linkSvc: linkSvc, links: make(map[scc.Link]*sim.Resource)}
 }
 
 func (m *Mesh) link(l scc.Link) *sim.Resource {
@@ -44,7 +46,7 @@ func (m *Mesh) Traverse(t sim.Time, src, dst scc.Coord, npackets int) sim.Time {
 	if npackets <= 0 {
 		return t
 	}
-	path := scc.XYPath(src, dst)
+	path := m.topo.XYPath(src, dst)
 	if len(path) == 0 {
 		return t
 	}

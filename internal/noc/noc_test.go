@@ -8,7 +8,7 @@ import (
 )
 
 func TestTraverseIdleMeshPipelining(t *testing.T) {
-	m := NewMesh(2 * sim.Nanosecond)
+	m := NewMesh(scc.SCC(), 2*sim.Nanosecond)
 	src, dst := scc.Coord{X: 0, Y: 0}, scc.Coord{X: 3, Y: 0} // 3 links
 	// Virtual cut-through: h + n - 1 link-service times.
 	got := m.Traverse(0, src, dst, 5)
@@ -19,7 +19,7 @@ func TestTraverseIdleMeshPipelining(t *testing.T) {
 }
 
 func TestTraverseZeroPacketsAndSameTile(t *testing.T) {
-	m := NewMesh(2 * sim.Nanosecond)
+	m := NewMesh(scc.SCC(), 2*sim.Nanosecond)
 	if got := m.Traverse(7, scc.Coord{X: 1, Y: 1}, scc.Coord{X: 2, Y: 1}, 0); got != 7 {
 		t.Fatalf("zero packets cost %v, want 7 (no-op)", got)
 	}
@@ -29,7 +29,7 @@ func TestTraverseZeroPacketsAndSameTile(t *testing.T) {
 }
 
 func TestTraverseSharedLinkQueues(t *testing.T) {
-	m := NewMesh(2 * sim.Nanosecond)
+	m := NewMesh(scc.SCC(), 2*sim.Nanosecond)
 	// Two simultaneous transfers share the (2,0)->(3,0) link.
 	a := m.Traverse(0, scc.Coord{X: 2, Y: 0}, scc.Coord{X: 3, Y: 0}, 10)
 	b := m.Traverse(0, scc.Coord{X: 2, Y: 0}, scc.Coord{X: 3, Y: 0}, 10)
@@ -52,7 +52,7 @@ func TestTraverseSharedLinkQueues(t *testing.T) {
 }
 
 func TestDisjointPathsDoNotInterfere(t *testing.T) {
-	m := NewMesh(2 * sim.Nanosecond)
+	m := NewMesh(scc.SCC(), 2*sim.Nanosecond)
 	a := m.Traverse(0, scc.Coord{X: 0, Y: 0}, scc.Coord{X: 2, Y: 0}, 8)
 	// Different row: no shared links under X-Y routing.
 	b := m.Traverse(0, scc.Coord{X: 0, Y: 3}, scc.Coord{X: 2, Y: 3}, 8)

@@ -42,7 +42,11 @@ type Port struct {
 	epoch     uint64         // barrier epoch
 }
 
-// NewPort wraps a core with two-sided communication state.
+// NewPort wraps a core with two-sided communication state. The RCCE line
+// layout above is anchored in the paper-standard 256-line per-core MPB
+// share (scc.MPBLinesPerCore); topologies below that cannot host the
+// protocol — the public API rejects them up front, and a smaller MPB
+// fails fast on the first out-of-range line access.
 func NewPort(core *rma.Core) *Port {
 	return &Port{
 		core:      core,

@@ -21,6 +21,7 @@ type Chip struct {
 	Cfg     scc.Config
 	Engine  *sim.Engine
 	NCores  int
+	topo    scc.Topology
 	mpbs    []*mem.MPB
 	privs   []*mem.Private
 	caches  []*mem.Cache
@@ -29,24 +30,28 @@ type Chip struct {
 	ipi     []ipiState
 }
 
-// NewChip builds a chip with the full 48 cores.
+// NewChip builds a chip with every core of the configured topology (48
+// on the default 6×4 SCC).
 func NewChip(cfg scc.Config) *Chip {
-	return NewChipN(cfg, scc.NumCores)
+	return NewChipN(cfg, cfg.Topology().NumCores())
 }
 
-// NewChipN builds a chip using the first n cores (n ≤ 48); smaller chips
-// keep unit tests fast while exercising identical code paths.
+// NewChipN builds a chip using the first n cores of the configured
+// topology (n ≤ Topology.NumCores()); smaller chips keep unit tests fast
+// while exercising identical code paths.
 func NewChipN(cfg scc.Config, n int) *Chip {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	if n < 1 || n > scc.NumCores {
-		panic(fmt.Sprintf("rma: core count %d out of range [1,%d]", n, scc.NumCores))
+	topo := cfg.Topology()
+	if n < 1 || n > topo.NumCores() {
+		panic(fmt.Sprintf("rma: core count %d out of range [1,%d]", n, topo.NumCores()))
 	}
 	c := &Chip{
 		Cfg:     cfg,
 		Engine:  sim.NewEngine(n),
 		NCores:  n,
+		topo:    topo,
 		mpbs:    make([]*mem.MPB, n),
 		privs:   make([]*mem.Private, n),
 		caches:  make([]*mem.Cache, n),
@@ -54,15 +59,18 @@ func NewChipN(cfg scc.Config, n int) *Chip {
 		ipi:     make([]ipiState, n),
 	}
 	for i := 0; i < n; i++ {
-		c.mpbs[i] = mem.NewMPB(c.Engine, i, cfg.Contention.ReadSvc)
+		c.mpbs[i] = mem.NewMPB(c.Engine, i, topo.MPBLines, cfg.Contention.ReadSvc)
 		c.privs[i] = mem.NewPrivate(i)
 		c.caches[i] = mem.NewCache(cfg.CacheEnabled)
 	}
 	if cfg.NoC == scc.NoCDetailed {
-		c.mesh = noc.NewMesh(cfg.LinkSvc)
+		c.mesh = noc.NewMesh(topo, cfg.LinkSvc)
 	}
 	return c
 }
+
+// Topo reports the chip's geometry.
+func (c *Chip) Topo() scc.Topology { return c.topo }
 
 // MPB returns core i's message passing buffer.
 func (c *Chip) MPB(i int) *mem.MPB { return c.mpbs[i] }
@@ -135,8 +143,12 @@ func (c *Core) Compute(d sim.Duration) { c.proc.Advance(d) }
 // counters returns the core's counter record.
 func (c *Core) counters() *trace.CoreCounters { return &c.chip.Counter[c.id] }
 
+// coord is this core's tile coordinate; coordOf is any core's.
+func (c *Core) coord() scc.Coord           { return c.chip.topo.CoreCoord(c.id) }
+func (c *Core) coordOf(core int) scc.Coord { return c.chip.topo.CoreCoord(core) }
+
 // distMPB is the hop distance from this core to core dst's MPB.
-func (c *Core) distMPB(dst int) int { return scc.CoreDistance(c.id, dst) }
+func (c *Core) distMPB(dst int) int { return c.chip.topo.CoreDistance(c.id, dst) }
 
 // distMem is the hop distance from this core to its memory controller.
-func (c *Core) distMem() int { return scc.MemDistance(c.id) }
+func (c *Core) distMem() int { return c.chip.topo.MemDistance(c.id) }

@@ -23,7 +23,7 @@ func (c *Core) SetFlag(dst, line int, value uint64) {
 	t0 := c.Now()
 
 	dstPort := c.reservePort(dst, t0, 1, true)
-	mesh := c.meshTraverse(t0, scc.CoreCoord(c.id), scc.CoreCoord(dst), 1)
+	mesh := c.meshTraverse(t0, c.coord(), c.coordOf(dst), 1)
 
 	eff := t0 + p.OMpbPut + c.LMpbW(d)
 	analytic := t0 + p.OMpbPut + c.CMpbW(d)

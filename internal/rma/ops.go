@@ -155,7 +155,7 @@ func (c *Core) PutMPBToMPB(dst, dstLine, srcLine, m int) {
 
 	srcPort := c.reservePort(c.id, t0, m, false)
 	dstPort := c.reservePort(dst, t0, m, true)
-	mesh := c.meshTraverse(t0, scc.CoreCoord(c.id), scc.CoreCoord(dst), m)
+	mesh := c.meshTraverse(t0, c.coord(), c.coordOf(dst), m)
 
 	// Each line costs one local read then one remote write, so read
 	// times, visibility times and the op clock all advance by the same
@@ -191,7 +191,7 @@ func (c *Core) PutMemToMPB(dst, dstLine, srcAddr, m int) {
 	priv, rem, cache := c.chip.Private(c.id), c.chip.MPB(dst), c.chip.Cache(c.id)
 
 	dstPort := c.reservePort(dst, t0, m, true)
-	mesh := c.meshTraverse(t0, scc.CoreCoord(c.id), scc.CoreCoord(dst), m)
+	mesh := c.meshTraverse(t0, c.coord(), c.coordOf(dst), m)
 
 	buf := c.scratchBuf(m * scc.CacheLine)
 	priv.Read(buf, srcAddr, m*scc.CacheLine)
@@ -256,7 +256,7 @@ func (c *Core) GetMPBToMPB(src, srcLine, dstLine, m int) {
 
 	srcPort := c.reservePort(src, t0, m, false)
 	ownPort := c.reservePort(c.id, t0, m, true)
-	mesh := c.meshTraverse(t0, scc.CoreCoord(src), scc.CoreCoord(c.id), m)
+	mesh := c.meshTraverse(t0, c.coordOf(src), c.coord(), m)
 
 	step := c.CMpbR(d) + c.CMpbW(1)
 	read0 := t0 + p.OMpbGet + c.CMpbR(d)
@@ -295,7 +295,7 @@ func (c *Core) GetMPBCombine(src, srcLine, dstLine, m int, combine func(dst, src
 	// write-backs: 2m line accesses.
 	ownPortR := c.reservePort(c.id, t0, m, false)
 	ownPortW := c.reservePort(c.id, t0, m, true)
-	mesh := c.meshTraverse(t0, scc.CoreCoord(src), scc.CoreCoord(c.id), m)
+	mesh := c.meshTraverse(t0, c.coordOf(src), c.coord(), m)
 
 	// Per line: remote read, local accumulator read, local write-back —
 	// three accesses with one combined stride, so both read sequences
@@ -343,7 +343,7 @@ func (c *Core) GetMPBToMem(src, srcLine, dstAddr, m int) {
 	priv, rem, cache := c.chip.Private(c.id), c.chip.MPB(src), c.chip.Cache(c.id)
 
 	srcPort := c.reservePort(src, t0, m, false)
-	mesh := c.meshTraverse(t0, scc.CoreCoord(src), scc.CoreCoord(c.id), m)
+	mesh := c.meshTraverse(t0, c.coordOf(src), c.coord(), m)
 
 	step := c.CMpbR(d) + c.CMemW(dm)
 	read0 := t0 + p.OMemGet + c.CMpbR(d)

@@ -110,6 +110,10 @@ func (m NoCMode) String() string {
 
 // Config assembles everything needed to instantiate a simulated chip.
 type Config struct {
+	// Topo is the chip geometry. The zero value means the paper-faithful
+	// 6×4 SCC (use the Topology method to resolve it), so configurations
+	// built by hand before topologies existed keep working.
+	Topo       Topology
 	Params     Params
 	Contention ContentionParams
 	NoC        NoCMode
@@ -129,6 +133,7 @@ type Config struct {
 // NoC accounting, cache model on.
 func DefaultConfig() Config {
 	return Config{
+		Topo:         SCC(),
 		Params:       Table1(),
 		Contention:   DefaultContention(),
 		NoC:          NoCAnalytic,
@@ -137,8 +142,28 @@ func DefaultConfig() Config {
 	}
 }
 
+// MeshConfig is DefaultConfig on a w×h grid of SCC-style tiles — the
+// entry point for beyond-48-core experiments.
+func MeshConfig(w, h int) Config {
+	cfg := DefaultConfig()
+	cfg.Topo = Mesh(w, h)
+	return cfg
+}
+
+// Topology resolves the configured geometry, falling back to the
+// paper-faithful 6×4 SCC when Topo is the zero value.
+func (c Config) Topology() Topology {
+	if c.Topo.IsZero() {
+		return SCC()
+	}
+	return c.Topo
+}
+
 // Validate reports an error if the configuration is unusable.
 func (c Config) Validate() error {
+	if err := c.Topology().Validate(); err != nil {
+		return err
+	}
 	if c.Params.Lhop <= 0 {
 		return fmt.Errorf("scc: Lhop must be positive, got %v", c.Params.Lhop)
 	}

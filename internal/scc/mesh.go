@@ -1,0 +1,185 @@
+package scc
+
+import "fmt"
+
+// Topology is the chip geometry as a first-class value: a w×h tile mesh
+// with a fixed number of cores per tile, a per-core MPB share, and the
+// router positions of the off-chip memory controllers. The zero value is
+// invalid; construct topologies with SCC (the paper-faithful 6×4 chip) or
+// Mesh (an arbitrary grid of SCC-style tiles).
+//
+// Everything downstream — X-Y routing, hop costs, MPB addressing, the
+// closed-form model's distance terms — is derived from a Topology, so
+// experiments can scale the chip beyond the real SCC's 48 cores without
+// touching any other layer.
+type Topology struct {
+	// W and H are the mesh dimensions in tiles: x ∈ [0,W), y ∈ [0,H).
+	W, H int
+	// TileCores is the number of cores sharing each tile (the SCC has 2).
+	TileCores int
+	// MPBLines is each core's share of its tile's Message Passing Buffer,
+	// in 32-byte cache lines (the SCC has 256 = 8 KB per core).
+	MPBLines int
+	// Controllers are the router positions the off-chip memory
+	// controllers attach to. A core uses its nearest controller
+	// (Manhattan distance, earlier entries winning ties) — on the real
+	// SCC's 6×4 grid this reproduces the quadrant LUT configuration
+	// exactly.
+	Controllers []Coord
+}
+
+// SCC returns the paper-faithful topology of the real chip: 24 tiles in a
+// 6×4 grid, two cores per tile, 8 KB of MPB per core, and four DDR3
+// controllers at tiles (0,0), (5,0), (0,2) and (5,2) (Figure 1).
+func SCC() Topology { return Mesh(MeshWidth, MeshHeight) }
+
+// Mesh returns a topology of w×h SCC-style tiles: two cores per tile,
+// 8 KB of MPB per core, and four memory controllers placed as the SCC
+// places them — on the left and right edges, at the bottom row and at row
+// h/2. Mesh(6, 4) is exactly SCC(). It panics on non-positive dimensions
+// (a programming error, like the other geometry constructors).
+func Mesh(w, h int) Topology {
+	t := Topology{
+		W:         w,
+		H:         h,
+		TileCores: CoresPerTile,
+		MPBLines:  MPBLinesPerCore,
+		Controllers: []Coord{
+			{X: 0, Y: 0},
+			{X: w - 1, Y: 0},
+			{X: 0, Y: h / 2},
+			{X: w - 1, Y: h / 2},
+		},
+	}
+	if err := t.Validate(); err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Validate reports an error if the topology is unusable.
+func (t Topology) Validate() error {
+	if t.W < 1 || t.H < 1 {
+		return fmt.Errorf("scc: mesh %dx%d must have positive dimensions", t.W, t.H)
+	}
+	if t.TileCores < 1 {
+		return fmt.Errorf("scc: %d cores per tile must be positive", t.TileCores)
+	}
+	if t.MPBLines < 1 {
+		return fmt.Errorf("scc: %d MPB lines per core must be positive", t.MPBLines)
+	}
+	if len(t.Controllers) == 0 {
+		return fmt.Errorf("scc: topology needs at least one memory controller")
+	}
+	for _, c := range t.Controllers {
+		if !t.Contains(c) {
+			return fmt.Errorf("scc: memory controller %v off the %dx%d mesh", c, t.W, t.H)
+		}
+	}
+	return nil
+}
+
+// IsZero reports whether t is the zero value (no topology configured).
+func (t Topology) IsZero() bool { return t.W == 0 && t.H == 0 }
+
+// String formats the topology like "6x4 mesh (48 cores)".
+func (t Topology) String() string {
+	return fmt.Sprintf("%dx%d mesh (%d cores)", t.W, t.H, t.NumCores())
+}
+
+// NumTiles reports the number of tiles on the mesh.
+func (t Topology) NumTiles() int { return t.W * t.H }
+
+// NumCores reports the number of cores on the chip.
+func (t Topology) NumCores() int { return t.NumTiles() * t.TileCores }
+
+// MPBBytesPerCore reports each core's MPB share in bytes.
+func (t Topology) MPBBytesPerCore() int { return t.MPBLines * CacheLine }
+
+// Contains reports whether the coordinate lies on the mesh.
+func (t Topology) Contains(c Coord) bool {
+	return c.X >= 0 && c.X < t.W && c.Y >= 0 && c.Y < t.H
+}
+
+// TileID converts a coordinate to a tile id in row-major order.
+func (t Topology) TileID(c Coord) int { return c.Y*t.W + c.X }
+
+// TileCoord converts a tile id (0..NumTiles-1) to its mesh coordinate.
+func (t Topology) TileCoord(tile int) Coord {
+	if tile < 0 || tile >= t.NumTiles() {
+		panic(fmt.Sprintf("scc: tile id %d out of range [0,%d)", tile, t.NumTiles()))
+	}
+	return Coord{X: tile % t.W, Y: tile / t.W}
+}
+
+// CoreTile reports the tile a core sits on. Cores are numbered so that
+// cores c·t..c·t+t-1 share tile c (t = TileCores), matching sccLinux's
+// enumeration on the real chip.
+func (t Topology) CoreTile(core int) int {
+	if core < 0 || core >= t.NumCores() {
+		panic(fmt.Sprintf("scc: core id %d out of range [0,%d)", core, t.NumCores()))
+	}
+	return core / t.TileCores
+}
+
+// CoreCoord reports the mesh coordinate of a core's tile.
+func (t Topology) CoreCoord(core int) Coord { return t.TileCoord(t.CoreTile(core)) }
+
+// ControllerFor reports the memory controller serving a core: the nearest
+// controller by Manhattan distance, with earlier Controllers entries
+// winning ties. On the SCC's 6×4 grid the controllers form a {0,5}×{0,2}
+// grid, so nearest-controller assignment decomposes into independent x
+// and y halves and reproduces the standard quadrant LUT configuration.
+func (t Topology) ControllerFor(core int) Coord {
+	c := t.CoreCoord(core)
+	best := t.Controllers[0]
+	bestD := abs(c.X-best.X) + abs(c.Y-best.Y)
+	for _, ctl := range t.Controllers[1:] {
+		if d := abs(c.X-ctl.X) + abs(c.Y-ctl.Y); d < bestD {
+			best, bestD = ctl, d
+		}
+	}
+	return best
+}
+
+// CoreDistance is the router hop distance between two cores' tiles.
+func (t Topology) CoreDistance(a, b int) int {
+	return HopDistance(t.CoreCoord(a), t.CoreCoord(b))
+}
+
+// MemDistance is the hop distance from a core to its memory controller.
+func (t Topology) MemDistance(core int) int {
+	return HopDistance(t.CoreCoord(core), t.ControllerFor(core))
+}
+
+// XYPath returns the ordered list of directed links a packet traverses
+// from src to dst under X-Y routing (X first, then Y). The path is empty
+// when src == dst (local router only).
+func (t Topology) XYPath(src, dst Coord) []Link {
+	if !t.Contains(src) || !t.Contains(dst) {
+		panic(fmt.Sprintf("scc: XYPath with off-mesh coordinate %v -> %v on %v", src, dst, t))
+	}
+	var path []Link
+	cur := src
+	for cur.X != dst.X {
+		next := cur
+		if dst.X > cur.X {
+			next.X++
+		} else {
+			next.X--
+		}
+		path = append(path, Link{From: cur, To: next})
+		cur = next
+	}
+	for cur.Y != dst.Y {
+		next := cur
+		if dst.Y > cur.Y {
+			next.Y++
+		} else {
+			next.Y--
+		}
+		path = append(path, Link{From: cur, To: next})
+		cur = next
+	}
+	return path
+}

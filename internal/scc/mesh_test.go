@@ -1,0 +1,131 @@
+package scc
+
+import "testing"
+
+func TestSCCMatchesConstants(t *testing.T) {
+	s := SCC()
+	if s.W != MeshWidth || s.H != MeshHeight || s.TileCores != CoresPerTile || s.MPBLines != MPBLinesPerCore {
+		t.Fatalf("SCC() = %+v, want the package constants", s)
+	}
+	if s.NumTiles() != NumTiles || s.NumCores() != NumCores {
+		t.Fatalf("SCC() has %d tiles / %d cores, want %d/%d", s.NumTiles(), s.NumCores(), NumTiles, NumCores)
+	}
+	if s.MPBBytesPerCore() != MPBBytesPerCore {
+		t.Fatalf("SCC() MPB bytes = %d, want %d", s.MPBBytesPerCore(), MPBBytesPerCore)
+	}
+	if got, want := s.String(), "6x4 mesh (48 cores)"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+	if len(s.Controllers) != len(MemoryControllers) {
+		t.Fatalf("SCC() has %d controllers, want %d", len(s.Controllers), len(MemoryControllers))
+	}
+	for i, c := range s.Controllers {
+		if c != MemoryControllers[i] {
+			t.Errorf("controller %d at %v, want %v", i, c, MemoryControllers[i])
+		}
+	}
+}
+
+// TestControllerForMatchesQuadrantLUT pins the refactor contract: the
+// nearest-controller rule must reproduce the pre-topology quadrant LUT
+// (i = (x ≥ 3) + 2·(y ≥ 2)) for every core of the default chip, so the
+// 6×4 default keeps byte-identical memory distances.
+func TestControllerForMatchesQuadrantLUT(t *testing.T) {
+	s := SCC()
+	for core := 0; core < NumCores; core++ {
+		c := s.CoreCoord(core)
+		i := 0
+		if c.X >= MeshWidth/2 {
+			i = 1
+		}
+		if c.Y >= MeshHeight/2 {
+			i += 2
+		}
+		if got := s.ControllerFor(core); got != MemoryControllers[i] {
+			t.Errorf("core %d at %v: ControllerFor = %v, quadrant LUT says %v", core, c, got, MemoryControllers[i])
+		}
+	}
+}
+
+func TestMeshGeometries(t *testing.T) {
+	cases := []struct {
+		w, h   int
+		cores  int
+		maxHop int // corner-to-corner: (w-1)+(h-1)+1
+	}{
+		{6, 4, 48, 9},
+		{8, 8, 128, 15},
+		{12, 8, 192, 19},
+		{16, 12, 384, 27},
+	}
+	for _, tc := range cases {
+		m := Mesh(tc.w, tc.h)
+		if err := m.Validate(); err != nil {
+			t.Fatalf("Mesh(%d,%d) invalid: %v", tc.w, tc.h, err)
+		}
+		if m.NumCores() != tc.cores {
+			t.Errorf("Mesh(%d,%d) has %d cores, want %d", tc.w, tc.h, m.NumCores(), tc.cores)
+		}
+		if d := HopDistance(m.TileCoord(0), m.TileCoord(m.NumTiles()-1)); d != tc.maxHop {
+			t.Errorf("Mesh(%d,%d) corner-to-corner = %d hops, want %d", tc.w, tc.h, d, tc.maxHop)
+		}
+		// Round trips and controller sanity across the whole mesh.
+		for tile := 0; tile < m.NumTiles(); tile++ {
+			c := m.TileCoord(tile)
+			if !m.Contains(c) || m.TileID(c) != tile {
+				t.Fatalf("Mesh(%d,%d) tile %d round trip failed (%v)", tc.w, tc.h, tile, c)
+			}
+		}
+		for core := 0; core < m.NumCores(); core++ {
+			if d := m.MemDistance(core); d < 1 {
+				t.Fatalf("Mesh(%d,%d) core %d memory distance %d < 1", tc.w, tc.h, core, d)
+			}
+			if ctl := m.ControllerFor(core); !m.Contains(ctl) {
+				t.Fatalf("Mesh(%d,%d) core %d controller %v off mesh", tc.w, tc.h, core, ctl)
+			}
+		}
+		// X-Y paths stay on the larger mesh (would panic on the 6×4-bound
+		// package helper).
+		corner := m.TileCoord(m.NumTiles() - 1)
+		if path := m.XYPath(Coord{0, 0}, corner); len(path) != tc.maxHop-1 {
+			t.Errorf("Mesh(%d,%d) corner path %d links, want %d", tc.w, tc.h, len(path), tc.maxHop-1)
+		}
+	}
+}
+
+func TestTopologyValidate(t *testing.T) {
+	bad := []Topology{
+		{W: 0, H: 4, TileCores: 2, MPBLines: 256, Controllers: []Coord{{0, 0}}},
+		{W: 6, H: 4, TileCores: 0, MPBLines: 256, Controllers: []Coord{{0, 0}}},
+		{W: 6, H: 4, TileCores: 2, MPBLines: 0, Controllers: []Coord{{0, 0}}},
+		{W: 6, H: 4, TileCores: 2, MPBLines: 256},
+		{W: 6, H: 4, TileCores: 2, MPBLines: 256, Controllers: []Coord{{6, 0}}},
+	}
+	for i, topo := range bad {
+		if topo.Validate() == nil {
+			t.Errorf("case %d: invalid topology %+v accepted", i, topo)
+		}
+	}
+	if !(Topology{}).IsZero() {
+		t.Error("zero topology not IsZero")
+	}
+	if SCC().IsZero() {
+		t.Error("SCC() reported IsZero")
+	}
+}
+
+func TestConfigTopologyFallback(t *testing.T) {
+	// A zero-Topo config (built by hand before topologies existed) must
+	// resolve to the default chip and still validate.
+	var c Config
+	c.Params = Table1()
+	if got := c.Topology(); got.NumCores() != NumCores {
+		t.Fatalf("zero-Topo config resolves to %v, want the 48-core default", got)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("zero-Topo config invalid: %v", err)
+	}
+	if got := MeshConfig(8, 8).Topology().NumCores(); got != 128 {
+		t.Fatalf("MeshConfig(8,8) has %d cores, want 128", got)
+	}
+}

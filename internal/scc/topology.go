@@ -1,14 +1,20 @@
 // Package scc models the Intel Single-Chip Cloud Computer's physical
-// organization: 48 Pentium P54C cores on 24 tiles arranged in a 6×4 grid,
-// a 2D-mesh network-on-chip with deterministic X-Y virtual cut-through
-// routing, per-tile Message Passing Buffers (16 KB, split between the
-// tile's two cores), and four off-chip memory controllers at the mesh
-// corners.
+// organization (paper §2): tiles of P54C cores on a 2D-mesh
+// network-on-chip with deterministic X-Y virtual cut-through routing,
+// per-tile Message Passing Buffers split between the tile's cores, and
+// off-chip memory controllers attached at the mesh edges.
+//
+// The geometry is a first-class value, Topology: SCC() is the
+// paper-faithful 6×4-tile, 48-core chip (Howard et al., ISSCC 2010) and
+// Mesh(w, h) scales the same tile design to arbitrary grids. The
+// package-level constants and helper functions describe the 6×4 default
+// and are retained for code that is explicitly about the real chip.
 package scc
 
 import "fmt"
 
-// Chip geometry constants (Howard et al., ISSCC 2010; paper §2.1).
+// Chip geometry constants of the real SCC (Howard et al., ISSCC 2010;
+// paper §2.1) — the default topology returned by SCC().
 const (
 	MeshWidth    = 6 // tiles per row, x ∈ [0,6)
 	MeshHeight   = 4 // tiles per column, y ∈ [0,4)
@@ -17,7 +23,9 @@ const (
 	NumCores     = NumTiles * CoresPerTile
 
 	// CacheLine is the unit of data transmission on the SCC: one NoC
-	// packet carries one 32-byte cache line (paper §2.2).
+	// packet carries one 32-byte cache line (paper §2.2). It is a
+	// property of the tile design, not of the mesh size, so it stays a
+	// constant across topologies.
 	CacheLine = 32
 
 	// MPBBytesPerCore is each core's share of its tile's 16 KB MPB.
@@ -26,8 +34,11 @@ const (
 	MPBLinesPerCore = MPBBytesPerCore / CacheLine
 )
 
-// Coord is a tile position on the mesh, (0,0) bottom-left to (5,3) as in
-// Figure 1 of the paper.
+// std is the default topology backing the package-level helpers.
+var std = SCC()
+
+// Coord is a tile position on the mesh, (0,0) bottom-left to (5,3) on the
+// default chip, as in Figure 1 of the paper.
 type Coord struct {
 	X, Y int
 }
@@ -35,37 +46,30 @@ type Coord struct {
 // String formats the coordinate like the paper: "(x,y)".
 func (c Coord) String() string { return fmt.Sprintf("(%d,%d)", c.X, c.Y) }
 
-// Valid reports whether the coordinate lies on the mesh.
-func (c Coord) Valid() bool {
-	return c.X >= 0 && c.X < MeshWidth && c.Y >= 0 && c.Y < MeshHeight
-}
+// Valid reports whether the coordinate lies on the default 6×4 mesh.
+// Use Topology.Contains for parametric meshes.
+func (c Coord) Valid() bool { return std.Contains(c) }
 
-// TileID converts a coordinate to a tile id in row-major order.
-func (c Coord) TileID() int { return c.Y*MeshWidth + c.X }
+// TileID converts a coordinate to a tile id in row-major order on the
+// default 6×4 mesh. Use Topology.TileID for parametric meshes.
+func (c Coord) TileID() int { return std.TileID(c) }
 
-// TileCoord converts a tile id (0..23) to its mesh coordinate.
-func TileCoord(tile int) Coord {
-	if tile < 0 || tile >= NumTiles {
-		panic(fmt.Sprintf("scc: tile id %d out of range [0,%d)", tile, NumTiles))
-	}
-	return Coord{X: tile % MeshWidth, Y: tile / MeshWidth}
-}
+// TileCoord converts a tile id (0..23) to its mesh coordinate on the
+// default 6×4 mesh.
+func TileCoord(tile int) Coord { return std.TileCoord(tile) }
 
-// CoreTile reports the tile a core sits on. Cores are numbered so that
-// cores 2t and 2t+1 share tile t, matching sccLinux's enumeration.
-func CoreTile(core int) int {
-	if core < 0 || core >= NumCores {
-		panic(fmt.Sprintf("scc: core id %d out of range [0,%d)", core, NumCores))
-	}
-	return core / CoresPerTile
-}
+// CoreTile reports the tile a core sits on, on the default 6×4 mesh.
+// Cores are numbered so that cores 2t and 2t+1 share tile t, matching
+// sccLinux's enumeration.
+func CoreTile(core int) int { return std.CoreTile(core) }
 
-// CoreCoord reports the mesh coordinate of a core's tile.
-func CoreCoord(core int) Coord { return TileCoord(CoreTile(core)) }
+// CoreCoord reports the mesh coordinate of a core's tile on the default
+// 6×4 mesh.
+func CoreCoord(core int) Coord { return std.CoreCoord(core) }
 
-// MemoryControllers are the mesh positions of the four DDR3 controllers.
-// They attach to the router at the listed tile (chip edges: tiles (0,0),
-// (5,0), (0,2) and (5,2), per Figure 1).
+// MemoryControllers are the mesh positions of the default chip's four
+// DDR3 controllers. They attach to the router at the listed tile (chip
+// edges: tiles (0,0), (5,0), (0,2) and (5,2), per Figure 1).
 var MemoryControllers = [4]Coord{
 	{X: 0, Y: 0},
 	{X: 5, Y: 0},
@@ -73,20 +77,11 @@ var MemoryControllers = [4]Coord{
 	{X: 5, Y: 2},
 }
 
-// ControllerFor reports which memory controller serves a core under the
-// standard LUT configuration: the chip is split into four quadrants and
-// each quadrant uses its nearest controller.
-func ControllerFor(core int) Coord {
-	c := CoreCoord(core)
-	i := 0
-	if c.X >= MeshWidth/2 {
-		i = 1
-	}
-	if c.Y >= MeshHeight/2 {
-		i += 2
-	}
-	return MemoryControllers[i]
-}
+// ControllerFor reports which memory controller serves a core on the
+// default 6×4 mesh under the standard LUT configuration: the chip is
+// split into four quadrants and each quadrant uses its nearest
+// controller.
+func ControllerFor(core int) Coord { return std.ControllerFor(core) }
 
 // HopDistance is the number of routers a packet traverses from the source
 // tile to the destination tile under X-Y routing: the packet enters the
@@ -94,20 +89,19 @@ func ControllerFor(core int) Coord {
 // parameter d of the paper. A core accessing its own tile's MPB still
 // goes through the local router, so the minimum distance is 1
 // (paper §2.2: direct local access is discouraged due to a hardware bug).
+// Pure mesh geometry — topology-independent.
 func HopDistance(src, dst Coord) int {
 	d := abs(src.X-dst.X) + abs(src.Y-dst.Y) + 1
 	return d
 }
 
-// CoreDistance is the hop distance between two cores' tiles.
-func CoreDistance(a, b int) int {
-	return HopDistance(CoreCoord(a), CoreCoord(b))
-}
+// CoreDistance is the hop distance between two cores' tiles on the
+// default 6×4 mesh.
+func CoreDistance(a, b int) int { return std.CoreDistance(a, b) }
 
-// MemDistance is the hop distance from a core to its memory controller.
-func MemDistance(core int) int {
-	return HopDistance(CoreCoord(core), ControllerFor(core))
-}
+// MemDistance is the hop distance from a core to its memory controller on
+// the default 6×4 mesh.
+func MemDistance(core int) int { return std.MemDistance(core) }
 
 // Link identifies a directed mesh link between two adjacent routers.
 type Link struct {
@@ -117,37 +111,9 @@ type Link struct {
 // String formats the link as "(x,y)->(x,y)".
 func (l Link) String() string { return l.From.String() + "->" + l.To.String() }
 
-// XYPath returns the ordered list of directed links a packet traverses
-// from src to dst under X-Y routing (X first, then Y). The path is empty
-// when src == dst (local router only).
-func XYPath(src, dst Coord) []Link {
-	if !src.Valid() || !dst.Valid() {
-		panic(fmt.Sprintf("scc: XYPath with off-mesh coordinate %v -> %v", src, dst))
-	}
-	var path []Link
-	cur := src
-	for cur.X != dst.X {
-		next := cur
-		if dst.X > cur.X {
-			next.X++
-		} else {
-			next.X--
-		}
-		path = append(path, Link{From: cur, To: next})
-		cur = next
-	}
-	for cur.Y != dst.Y {
-		next := cur
-		if dst.Y > cur.Y {
-			next.Y++
-		} else {
-			next.Y--
-		}
-		path = append(path, Link{From: cur, To: next})
-		cur = next
-	}
-	return path
-}
+// XYPath returns the X-Y routing path on the default 6×4 mesh. Use
+// Topology.XYPath for parametric meshes.
+func XYPath(src, dst Coord) []Link { return std.XYPath(src, dst) }
 
 func abs(x int) int {
 	if x < 0 {

@@ -1,4 +1,7 @@
-// Package sim provides a deterministic discrete-event simulation engine.
+// Package sim provides a deterministic discrete-event simulation engine
+// — the substrate on which the paper's experimental methodology (§6.1:
+// barrier-separated repetitions timed with the SCC's global counters) is
+// reproduced exactly rather than statistically.
 //
 // Simulated cores run ordinary Go code inside goroutines; a central
 // scheduler admits exactly one core at a time — always the runnable core

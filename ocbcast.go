@@ -1,9 +1,11 @@
 // Package ocbcast is a Go reproduction of "High-Performance RMA-Based
 // Broadcast on the Intel SCC" (Petrović, Shahmirzadi, Ropars, Schiper —
 // SPAA 2012). It provides a cycle-accurate-style discrete-event model of
-// the Intel Single-Chip Cloud Computer — 48 cores, 2D-mesh NoC, per-core
-// Message Passing Buffers with RMA put/get — and, on top of it, two
-// complete collective families:
+// the Intel Single-Chip Cloud Computer — 48 cores by default, 2D-mesh
+// NoC, per-core Message Passing Buffers with RMA put/get; the mesh
+// dimensions are configuration (Options.MeshWidth/MeshHeight), so chips
+// of hundreds of cores simulate with the same code — and, on top of it,
+// two complete collective families:
 //
 //   - the one-sided family: OC-Bcast (the paper's pipelined k-ary tree
 //     broadcast over one-sided RMA) and its §7 extensions ReduceOC,
@@ -46,12 +48,22 @@ import (
 // CacheLineBytes is the SCC's transfer granularity (32 bytes).
 const CacheLineBytes = scc.CacheLine
 
-// MaxCores is the SCC's core count.
+// MaxCores is the real SCC's core count — the capacity of the default
+// 6×4 topology. Larger meshes (MeshWidth × MeshHeight) raise the limit
+// accordingly.
 const MaxCores = scc.NumCores
 
 // Options configure a simulated chip.
 type Options struct {
-	// Cores is the number of simulated cores, 1..48. 0 means 48.
+	// MeshWidth and MeshHeight select the chip geometry: a grid of
+	// SCC-style tiles (two cores, 16 KB of MPB each) with memory
+	// controllers placed as the SCC places them. Both zero means the
+	// paper-faithful 6×4 mesh; setting only one panics. The simulator,
+	// routing, collectives and model all scale with the mesh, so e.g.
+	// MeshWidth: 16, MeshHeight: 12 simulates a 384-core chip.
+	MeshWidth, MeshHeight int
+	// Cores is the number of simulated cores, 1..MeshWidth×MeshHeight×2.
+	// 0 means all cores of the mesh (48 on the default).
 	Cores int
 	// K is OC-Bcast's propagation-tree fan-out. 0 means the paper's 7.
 	K int
@@ -78,6 +90,19 @@ type System struct {
 // with misconfiguration being a programming error).
 func New(opts Options) *System {
 	cfg := scc.DefaultConfig()
+	if (opts.MeshWidth == 0) != (opts.MeshHeight == 0) {
+		panic(fmt.Sprintf("ocbcast: mesh %dx%d: set both MeshWidth and MeshHeight (or neither for the 6x4 default)",
+			opts.MeshWidth, opts.MeshHeight))
+	}
+	if opts.MeshWidth != 0 {
+		cfg.Topo = scc.Mesh(opts.MeshWidth, opts.MeshHeight)
+	}
+	// The RCCE/OC-Bcast MPB line layouts anchor at the paper-standard
+	// 256-line per-core share; reject topologies that cannot host them.
+	if cfg.Topo.MPBLines < scc.MPBLinesPerCore {
+		panic(fmt.Sprintf("ocbcast: MPB share of %d lines is smaller than the %d-line protocol layouts",
+			cfg.Topo.MPBLines, scc.MPBLinesPerCore))
+	}
 	if opts.Params != nil {
 		cfg.Params = *opts.Params
 	}
@@ -89,7 +114,7 @@ func New(opts Options) *System {
 	}
 	n := opts.Cores
 	if n == 0 {
-		n = scc.NumCores
+		n = cfg.Topo.NumCores()
 	}
 	occfg := occore.DefaultConfig()
 	if opts.K != 0 {
@@ -107,6 +132,12 @@ func New(opts Options) *System {
 
 // N reports the number of simulated cores.
 func (s *System) N() int { return s.chip.NCores }
+
+// Mesh reports the chip's grid dimensions in tiles (6×4 by default).
+func (s *System) Mesh() (w, h int) {
+	t := s.chip.Topo()
+	return t.W, t.H
+}
 
 // WritePrivate stores bytes into core `core`'s private off-chip memory at
 // byte address addr, before or after Run.
