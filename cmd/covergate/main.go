@@ -1,0 +1,189 @@
+// Command covergate enforces the repository's test-coverage floor: it
+// parses a `go test -coverprofile` profile, computes per-package and
+// total statement coverage, prints the delta against the checked-in
+// baseline (.github/coverage-baseline.json), and exits non-zero when
+// total coverage falls more than the tolerance below the baseline.
+//
+// Usage:
+//
+//	go test ./... -coverprofile=cover.out
+//	go run ./cmd/covergate -profile cover.out            # gate
+//	go run ./cmd/covergate -profile cover.out -update    # refresh baseline
+//
+// Flags:
+//
+//	-profile FILE     coverage profile to read (default cover.out)
+//	-baseline FILE    baseline JSON (default .github/coverage-baseline.json)
+//	-tolerance PCT    allowed total-coverage drop in points (default 0.5)
+//	-update           rewrite the baseline from this profile and exit
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// baseline is the checked-in coverage floor.
+type baseline struct {
+	// TotalPct is total statement coverage in percent at baseline time.
+	TotalPct float64 `json:"total_pct"`
+	// Packages maps import paths to their statement coverage in percent.
+	Packages map[string]float64 `json:"packages"`
+}
+
+// block is one coverage-profile block; profiles may repeat a block (one
+// entry per test binary), so blocks are merged by position with summed
+// hit counts.
+type block struct {
+	stmts int
+	hit   bool
+}
+
+func main() {
+	profile := flag.String("profile", "cover.out", "coverage profile from go test -coverprofile")
+	basePath := flag.String("baseline", ".github/coverage-baseline.json", "baseline JSON path")
+	tolerance := flag.Float64("tolerance", 0.5, "allowed drop in total coverage, percentage points")
+	update := flag.Bool("update", false, "rewrite the baseline from this profile")
+	flag.Parse()
+
+	pkgPct, totalPct, err := coverageFromProfile(*profile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "covergate:", err)
+		os.Exit(1)
+	}
+
+	if *update {
+		b := baseline{TotalPct: round1(totalPct), Packages: map[string]float64{}}
+		for pkg, pct := range pkgPct {
+			b.Packages[pkg] = round1(pct)
+		}
+		out, err := json.MarshalIndent(b, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*basePath, append(out, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "covergate:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("covergate: baseline updated to %.1f%% total (%d packages)\n", totalPct, len(pkgPct))
+		return
+	}
+
+	raw, err := os.ReadFile(*basePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "covergate: no baseline (%v); run with -update to create one\n", err)
+		os.Exit(1)
+	}
+	var base baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintln(os.Stderr, "covergate: bad baseline:", err)
+		os.Exit(1)
+	}
+
+	// Per-package delta report, stable order.
+	pkgs := make([]string, 0, len(pkgPct))
+	for pkg := range pkgPct {
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Strings(pkgs)
+	fmt.Printf("%-40s %8s %8s %8s\n", "package", "now", "base", "delta")
+	for _, pkg := range pkgs {
+		now := pkgPct[pkg]
+		was, ok := base.Packages[pkg]
+		if !ok {
+			fmt.Printf("%-40s %7.1f%% %8s %8s\n", pkg, now, "(new)", "")
+			continue
+		}
+		fmt.Printf("%-40s %7.1f%% %7.1f%% %+7.1f\n", pkg, now, was, now-was)
+	}
+	for pkg := range base.Packages {
+		if _, ok := pkgPct[pkg]; !ok {
+			fmt.Printf("%-40s %8s %7.1f%% (gone)\n", pkg, "-", base.Packages[pkg])
+		}
+	}
+	fmt.Printf("%-40s %7.1f%% %7.1f%% %+7.1f\n", "TOTAL", totalPct, base.TotalPct, totalPct-base.TotalPct)
+
+	if totalPct < base.TotalPct-*tolerance {
+		fmt.Fprintf(os.Stderr, "covergate: FAIL — total coverage %.1f%% fell below baseline %.1f%% - %.1f tolerance\n",
+			totalPct, base.TotalPct, *tolerance)
+		os.Exit(1)
+	}
+	fmt.Printf("covergate: OK (floor %.1f%%)\n", base.TotalPct-*tolerance)
+}
+
+// coverageFromProfile parses a cover profile into per-package and total
+// statement-coverage percentages.
+func coverageFromProfile(file string) (map[string]float64, float64, error) {
+	f, err := os.Open(file)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+
+	blocks := map[string]*block{} // "file:pos" -> merged block
+	filePkg := func(name string) string { return path.Dir(name) }
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "mode:") {
+			continue
+		}
+		// repro/internal/sim/engine.go:12.34,15.2 3 1
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, 0, fmt.Errorf("malformed profile line %q", line)
+		}
+		stmts, err1 := strconv.Atoi(fields[1])
+		count, err2 := strconv.Atoi(fields[2])
+		if err1 != nil || err2 != nil {
+			return nil, 0, fmt.Errorf("malformed profile line %q", line)
+		}
+		key := fields[0]
+		b := blocks[key]
+		if b == nil {
+			b = &block{stmts: stmts}
+			blocks[key] = b
+		}
+		b.hit = b.hit || count > 0
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, err
+	}
+	if len(blocks) == 0 {
+		return nil, 0, fmt.Errorf("profile %s has no blocks", file)
+	}
+
+	type tally struct{ total, covered int }
+	perPkg := map[string]*tally{}
+	var grand tally
+	for key, b := range blocks {
+		name := key[:strings.Index(key, ":")]
+		pt := perPkg[filePkg(name)]
+		if pt == nil {
+			pt = &tally{}
+			perPkg[filePkg(name)] = pt
+		}
+		pt.total += b.stmts
+		grand.total += b.stmts
+		if b.hit {
+			pt.covered += b.stmts
+			grand.covered += b.stmts
+		}
+	}
+	out := map[string]float64{}
+	for pkg, t := range perPkg {
+		out[pkg] = 100 * float64(t.covered) / float64(t.total)
+	}
+	return out, 100 * float64(grand.covered) / float64(grand.total), nil
+}
+
+func round1(v float64) float64 { return float64(int(v*10+0.5)) / 10 }

@@ -8,6 +8,7 @@
 //	ocbench fig8a fig8b table2   # run specific artifacts
 //	ocbench fig-allreduce        # one-sided vs two-sided allreduce (§7)
 //	ocbench scale                # model vs simulation on 48..384-core meshes
+//	ocbench overlap              # non-blocking overlap sweep (fig-overlap)
 //	ocbench perf                 # wall-clock simulator throughput -> BENCH_simperf.json
 //
 // Flags:
@@ -68,6 +69,9 @@ func main() {
 	case "scale":
 		// Convenience alias for the topology-scaling experiment.
 		names = append([]string{"fig-scale"}, args[1:]...)
+	case "overlap":
+		// Convenience alias for the non-blocking overlap experiment.
+		names = append([]string{"fig-overlap"}, args[1:]...)
 	default:
 		names = args
 	}

@@ -42,6 +42,24 @@ type simPerf struct {
 	// (48..384 cores), so the trajectory covers how simulator wall-clock
 	// cost grows with mesh size, not just the fixed 48-core workload.
 	Scale []scalePerf `json:"scale"`
+
+	// Overlap: fig-overlap headline cells — blocking AllReduceOC+compute
+	// vs the non-blocking IAllReduceOC interleaved with compute slices.
+	// Simulated microseconds, so the section is deterministic; it records
+	// the achievable communication/computation overlap per message size.
+	Overlap []overlapPerf `json:"overlap"`
+}
+
+// overlapPerf is one fig-overlap cell of the perf file: compute load
+// W = compute_frac·T and polling grain grain_frac·W, with T the bare
+// collective latency for that size.
+type overlapPerf struct {
+	Lines       int     `json:"lines"`
+	ComputeFrac float64 `json:"compute_frac"`
+	GrainFrac   float64 `json:"grain_frac"`
+	BlockingUs  float64 `json:"blocking_us"`
+	OverlapUs   float64 `json:"overlap_us"`
+	Speedup     float64 `json:"speedup"`
 }
 
 // scalePerf is one topology point of the perf file's scaling section.
@@ -138,6 +156,20 @@ func runPerf(cfg scc.Config, effort int) error {
 		})
 	}
 
+	// Overlap headline: blocking vs non-blocking AllReduce with compute
+	// loads of T/2 and T, polled at W/64 (the finest fig-overlap grain).
+	for _, p := range harness.OverlapSweep(cfg, scc.NumCores, 7,
+		[]int{32, 96}, []float64{0.5, 1.0}, []float64{1.0 / 64}) {
+		perf.Overlap = append(perf.Overlap, overlapPerf{
+			Lines:       p.Lines,
+			ComputeFrac: p.Ratio,
+			GrainFrac:   p.GrainUs / (p.CollUs * p.Ratio),
+			BlockingUs:  p.BlockingUs,
+			OverlapUs:   p.OverlapUs,
+			Speedup:     p.Speedup,
+		})
+	}
+
 	out, err := json.MarshalIndent(perf, "", "  ")
 	if err != nil {
 		return err
@@ -156,6 +188,10 @@ func runPerf(cfg scc.Config, effort int) error {
 	for _, s := range perf.Scale {
 		fmt.Printf("  scale %-6s (%3d cores):     %.2f ms/simulation (%.0f simulated µs)\n",
 			s.Mesh, s.Cores, s.MsPerSim, s.SimulatedUs)
+	}
+	for _, o := range perf.Overlap {
+		fmt.Printf("  overlap %4d CL, W=%.1fT:      %.0f µs blocking -> %.0f µs overlapped (%.2fx)\n",
+			o.Lines, o.ComputeFrac, o.BlockingUs, o.OverlapUs, o.Speedup)
 	}
 	return nil
 }

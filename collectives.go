@@ -1,6 +1,9 @@
 package ocbcast
 
-import "repro/internal/collective"
+import (
+	"repro/internal/collective"
+	"repro/internal/occoll"
+)
 
 // This file surfaces the extension collectives (the paper's §7 future
 // work) in two families:
@@ -88,3 +91,65 @@ func (c *Core) ScatterOC(root, addr, lines int) { c.occ().Scatter(root, addr, li
 // concatenated result, leaving all P blocks id-ordered at addr on every
 // core.
 func (c *Core) AllGatherOC(addr, lines int) { c.occ().AllGather(addr, lines) }
+
+// BcastOC broadcasts `lines` cache lines from root's addr to the same
+// address everywhere — the OC-Bcast chunk pipeline run over an occoll
+// lane, and the blocking twin of IBcastOC. (Broadcast remains the
+// paper-faithful standalone OC-Bcast with its own flag layout.)
+func (c *Core) BcastOC(root, addr, lines int) { c.occ().Bcast(root, addr, lines) }
+
+// --- Non-blocking one-sided family (the progress engine) ---
+//
+// Each I*OC call issues the same lane protocol its blocking twin runs and
+// returns a Request immediately; the blocking twin is literally issue +
+// Wait, so its simulated timing is identical. The protocol advances only
+// inside Progress, Request.Test and Request.Wait (MPI-style progress);
+// between those calls the core is free to Compute, which is what the
+// fig-overlap experiment measures. Requests must be issued in the same
+// program order on every core (lanes are assigned round-robin by issue
+// order) and each must be completed by exactly one Wait or true Test
+// before the body returns. Wait progresses only its own request, so
+// cores must also Wait multiple in-flight requests in the same order —
+// mismatched completion orders deadlock like mismatched blocking
+// collectives; poll with Test/Progress when the order can't be
+// symmetric.
+
+// Request is the handle of an in-flight non-blocking collective; see
+// occoll.Request for the Wait/Test lifecycle.
+type Request = occoll.Request
+
+// IBcastOC starts a non-blocking BcastOC and returns its handle.
+func (c *Core) IBcastOC(root, addr, lines int) *Request {
+	return c.occ().IBcast(root, addr, lines)
+}
+
+// IReduceOC starts a non-blocking ReduceOC and returns its handle.
+func (c *Core) IReduceOC(root, addr, lines int, op ReduceOp) *Request {
+	return c.occ().IReduce(root, addr, lines, op)
+}
+
+// IAllReduceOC starts a non-blocking AllReduceOC and returns its handle.
+func (c *Core) IAllReduceOC(addr, lines int, op ReduceOp) *Request {
+	return c.occ().IAllReduce(addr, lines, op)
+}
+
+// IScatterOC starts a non-blocking ScatterOC and returns its handle.
+func (c *Core) IScatterOC(root, addr, lines int) *Request {
+	return c.occ().IScatter(root, addr, lines)
+}
+
+// IGatherOC starts a non-blocking GatherOC and returns its handle.
+func (c *Core) IGatherOC(root, addr, lines int) *Request {
+	return c.occ().IGather(root, addr, lines)
+}
+
+// IAllGatherOC starts a non-blocking AllGatherOC and returns its handle.
+func (c *Core) IAllGatherOC(addr, lines int) *Request {
+	return c.occ().IAllGather(addr, lines)
+}
+
+// Progress advances every outstanding non-blocking request as far as it
+// can go without blocking. It never blocks and, when no awaited flag has
+// arrived, costs no simulated time — interleave it with Compute slices to
+// overlap communication with computation.
+func (c *Core) Progress() { c.occ().Progress() }

@@ -1,0 +1,163 @@
+package ocbcast_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	ocbcast "repro"
+)
+
+// Randomized conformance suite for the non-blocking collectives: for
+// random topologies, core counts, roots, payload sizes, chunk sizes,
+// fan-outs and reduction ops, every blocking collective and its
+// non-blocking twin (issue + immediate Wait) must produce identical
+// buffer contents on every core AND identical per-core simulated
+// completion times after every operation. The suite is seeded, so CI
+// runs are deterministic.
+
+// conformanceTrial is one randomized configuration of the suite.
+type conformanceTrial struct {
+	meshW, meshH int
+	cores        int
+	k            int
+	chunkLines   int
+	doubleBuf    bool
+	root         int
+	lines        int
+	opName       string
+	op           ocbcast.ReduceOp
+}
+
+// drawTrial derives a trial from the seeded rng, cycling through the
+// topology set so every topology is exercised regardless of trial count.
+func drawTrial(rng *rand.Rand, idx int) conformanceTrial {
+	topos := [][2]int{{6, 4}, {3, 2}, {8, 8}, {5, 3}}
+	tp := topos[idx%len(topos)]
+	maxCores := tp[0] * tp[1] * 2
+	if maxCores > 32 {
+		maxCores = 32 // bound simulation cost on the big meshes
+	}
+	n := 2 + rng.Intn(maxCores-1)
+	tr := conformanceTrial{
+		meshW:      tp[0],
+		meshH:      tp[1],
+		cores:      n,
+		k:          []int{2, 3, 7}[rng.Intn(3)],
+		chunkLines: []int{2, 4, 96}[rng.Intn(3)],
+		doubleBuf:  rng.Intn(4) != 0,
+		root:       rng.Intn(n),
+		lines:      1 + rng.Intn(13),
+	}
+	if rng.Intn(2) == 0 {
+		tr.opName, tr.op = "sum", ocbcast.SumInt64
+	} else {
+		tr.opName, tr.op = "max", ocbcast.MaxInt64
+	}
+	return tr
+}
+
+// runConformanceTrial runs all six collective pairs once on the trial's
+// chip in one simulation, either blocking or issue+Wait, and returns the
+// per-op per-core completion times plus every core's final private
+// memory image.
+func runConformanceTrial(tr conformanceTrial, blobs [][]byte, nonblocking bool) ([][]float64, [][]byte) {
+	opts := ocbcast.Options{
+		K:                   tr.k,
+		ChunkLines:          tr.chunkLines,
+		Cores:               tr.cores,
+		DisableDoubleBuffer: !tr.doubleBuf,
+	}
+	if tr.meshW != 6 || tr.meshH != 4 {
+		opts.MeshWidth, opts.MeshHeight = tr.meshW, tr.meshH
+	}
+	sys := ocbcast.New(opts)
+	for i := 0; i < tr.cores; i++ {
+		sys.WritePrivate(i, 0, blobs[i])
+	}
+
+	n, lines, root, op := tr.cores, tr.lines, tr.root, tr.op
+	lineBytes := lines * ocbcast.CacheLineBytes
+	// Region layout: one buffer per collective so results don't clobber
+	// each other's inputs across ops.
+	addrB, addrR, addrA := 0, lineBytes, 2*lineBytes
+	addrS := 3 * lineBytes          // P blocks (scatter)
+	addrG := (3 + n) * lineBytes    // P blocks (gather)
+	addrAG := (3 + 2*n) * lineBytes // P blocks (allgather)
+	total := (3 + 3*n) * lineBytes  // == len(blobs[i])
+
+	const numOps = 6
+	times := make([][]float64, numOps)
+	for i := range times {
+		times[i] = make([]float64, n)
+	}
+	sys.Run(func(c *ocbcast.Core) {
+		do := func(idx int, blocking func(), issue func() *ocbcast.Request) {
+			c.Barrier()
+			if nonblocking {
+				issue().Wait()
+			} else {
+				blocking()
+			}
+			times[idx][c.ID()] = c.NowMicros()
+		}
+		do(0, func() { c.BcastOC(root, addrB, lines) },
+			func() *ocbcast.Request { return c.IBcastOC(root, addrB, lines) })
+		do(1, func() { c.ReduceOC(root, addrR, lines, op) },
+			func() *ocbcast.Request { return c.IReduceOC(root, addrR, lines, op) })
+		do(2, func() { c.AllReduceOC(addrA, lines, op) },
+			func() *ocbcast.Request { return c.IAllReduceOC(addrA, lines, op) })
+		do(3, func() { c.ScatterOC(root, addrS, lines) },
+			func() *ocbcast.Request { return c.IScatterOC(root, addrS, lines) })
+		do(4, func() { c.GatherOC(root, addrG, lines) },
+			func() *ocbcast.Request { return c.IGatherOC(root, addrG, lines) })
+		do(5, func() { c.AllGatherOC(addrAG, lines) },
+			func() *ocbcast.Request { return c.IAllGatherOC(addrAG, lines) })
+	})
+
+	bufs := make([][]byte, n)
+	for i := range bufs {
+		bufs[i] = sys.ReadPrivate(i, 0, total)
+	}
+	return times, bufs
+}
+
+// TestConformanceBlockingVsNonBlocking is the randomized suite entry
+// point. 16 seeded trials cover 4 topologies × random (cores, root,
+// size, chunking, fan-out, op); each trial runs all six collective pairs.
+func TestConformanceBlockingVsNonBlocking(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260728))
+	trials := 16
+	if testing.Short() {
+		trials = 8
+	}
+	opNames := []string{"BcastOC", "ReduceOC", "AllReduceOC", "ScatterOC", "GatherOC", "AllGatherOC"}
+	for idx := 0; idx < trials; idx++ {
+		tr := drawTrial(rng, idx)
+		total := (3 + 3*tr.cores) * tr.lines * ocbcast.CacheLineBytes
+		blobs := make([][]byte, tr.cores)
+		for i := range blobs {
+			blobs[i] = make([]byte, total)
+			rng.Read(blobs[i])
+		}
+		bt, bb := runConformanceTrial(tr, blobs, false)
+		nt, nb := runConformanceTrial(tr, blobs, true)
+		for opIdx := range bt {
+			for core := 0; core < tr.cores; core++ {
+				if bt[opIdx][core] != nt[opIdx][core] {
+					t.Errorf("trial %d (%dx%d n=%d k=%d chunk=%d db=%v root=%d lines=%d op=%s): %s core %d completed at %v µs blocking vs %v µs issue+Wait",
+						idx, tr.meshW, tr.meshH, tr.cores, tr.k, tr.chunkLines, tr.doubleBuf,
+						tr.root, tr.lines, tr.opName, opNames[opIdx], core, bt[opIdx][core], nt[opIdx][core])
+				}
+			}
+		}
+		for core := 0; core < tr.cores; core++ {
+			if !bytes.Equal(bb[core], nb[core]) {
+				t.Errorf("trial %d: core %d final memory differs between blocking and issue+Wait", idx, core)
+			}
+		}
+		if t.Failed() {
+			t.Fatalf("stopping after first failing trial %d", idx)
+		}
+	}
+}

@@ -30,6 +30,12 @@ type Config struct {
 	// parent's MPB straight to private off-chip memory, skipping its
 	// own MPB entirely (it has no children to serve).
 	LeafDirect bool
+	// Channels is the number of independent MPB lanes the one-sided
+	// collective family (internal/occoll) lays out, bounding how many
+	// non-blocking collectives can be in flight per core at once. 0 or 1
+	// means a single lane — the classic layout. OC-Bcast itself ignores
+	// the field; occoll.Validate checks that all lanes fit in the MPB.
+	Channels int
 }
 
 // DefaultConfig is the configuration of the paper's experiments.

@@ -67,6 +67,25 @@ func goldenPoints(cfg scc.Config) []goldenPoint {
 				return MeasureAllReduce(cfg, VariantTwoSided, 7, scc.NumCores, 256, 2)
 			},
 		},
+		{
+			// The blocking collectives are now issue + immediate Wait on
+			// the progress engine; this point pins that rewrite to the
+			// same pre-engine snapshot value as allreduce/oc-k7-8KiB.
+			name: "allreduce/oc-k7-8KiB-blocking-via-engine",
+			want: []float64{1617.671},
+			run: func() []float64 {
+				return []float64{MeasureOverlap(cfg, scc.NumCores, OverlapCell{K: 7, Lines: 256})}
+			},
+		},
+		{
+			// IAllReduce + immediate Wait must be byte-identical to the
+			// blocking call — the progress engine's headline contract.
+			name: "allreduce/oc-k7-8KiB-issue-wait",
+			want: []float64{1617.671},
+			run: func() []float64 {
+				return []float64{MeasureOverlap(cfg, scc.NumCores, OverlapCell{K: 7, Lines: 256, Overlap: true})}
+			},
+		},
 	}
 }
 

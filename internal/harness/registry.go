@@ -71,6 +71,12 @@ func Registry() []Experiment {
 			},
 		},
 		{
+			Name: "fig-overlap", Desc: "communication/computation overlap via non-blocking AllReduce",
+			Run: func(cfg scc.Config, effort int) ([]*Table, error) {
+				return []*Table{FigOverlap(cfg, effort)}, nil
+			},
+		},
+		{
 			Name: "fig-scale", Desc: "model vs simulation across mesh sizes 48-384 cores",
 			Run: func(cfg scc.Config, effort int) ([]*Table, error) {
 				return []*Table{FigScale(cfg, effort)}, nil

@@ -359,6 +359,17 @@ func (m *MPB) peekU64At(line int, t sim.Time) uint64 {
 	return v
 }
 
+// ProbeU64 evaluates what PeekU64 would return at time t WITHOUT settling
+// pending writes into the backing store — the read has no side effects at
+// all, so it is safe to issue from a core that polls a flag opportunistically
+// (the non-blocking collectives' Test/Progress path) while lower-clock
+// processes may still be about to issue earlier-time writes. It allocates
+// nothing.
+func (m *MPB) ProbeU64(line int, t sim.Time) uint64 {
+	m.checkLine(line)
+	return m.peekU64At(line, t)
+}
+
 // satisfiedAt returns the earliest time ≥ now at which pred holds for the
 // line's leading uint64, considering the settled state and pending writes
 // in effective-time order. ok is false if no current or pending state

@@ -1,0 +1,88 @@
+package occoll
+
+import (
+	"repro/internal/core"
+	"repro/internal/scc"
+)
+
+// Bcast delivers `lines` cache lines from the root's private memory at
+// byte address addr to the same address on every core — OC-Bcast's §4
+// chunk pipeline run over an occoll lane's own flag block (dnNotify/
+// dnDone), with the §5.4 leaf-direct optimization always on. It is the
+// blocking twin of IBcast; the classic core.Broadcaster remains the
+// paper-faithful standalone broadcast with its own flag layout.
+func (x *Collectives) Bcast(root, addr, lines int) {
+	x.IBcast(root, addr, lines).Wait()
+}
+
+// IBcast is the non-blocking Bcast: it issues the broadcast and returns a
+// Request to Test or Wait on while the core computes.
+func (x *Collectives) IBcast(root, addr, lines int) *Request {
+	return x.issue("IBcast", root, addr, lines, func(l *lane, t core.Tree) {
+		l.bcastDown(t, addr, lines)
+	})
+}
+
+// bcastDown is the OC-Bcast §4 chunk pipeline over the lane's own
+// flag lines (dnNotify/dnDone), with the §5.4 leaf-direct optimization
+// always on: a leaf pulls each chunk from its parent's MPB straight to
+// private memory. It delivers `lines` cache lines from the tree root's
+// addr to the same address everywhere.
+func (l *lane) bcastDown(t core.Tree, addr, lines int) {
+	x := l.x
+	c, cfg := x.core, x.cfg
+	n := x.nchunks(lines)
+	nb := x.numBuffers()
+	seq := func(ch int) uint64 { return uint64(ch) + 1 }
+
+	if t.Rank == 0 {
+		for ch := 0; ch < n; ch++ {
+			m := x.chunkSpan(ch, lines)
+			buf := l.bufLine(ch)
+			if ch >= nb {
+				for i := range t.Children {
+					l.wait(l.dnDoneLine(i), seq(ch-nb))
+				}
+			}
+			c.PutMemToMPB(c.ID(), buf, addr+ch*cfg.BufLines*scc.CacheLine, m)
+			for _, child := range t.NotifyOwn {
+				c.SetFlag(child, l.dnNotifyLine(), seq(ch))
+			}
+		}
+		for i := range t.Children {
+			l.wait(l.dnDoneLine(i), seq(n-1))
+		}
+		return
+	}
+
+	for ch := 0; ch < n; ch++ {
+		m := x.chunkSpan(ch, lines)
+		chunkAddr := addr + ch*cfg.BufLines*scc.CacheLine
+		buf := l.bufLine(ch)
+
+		l.wait(l.dnNotifyLine(), seq(ch))
+		for _, sib := range t.NotifyFwd {
+			c.SetFlag(sib, l.dnNotifyLine(), seq(ch))
+		}
+		if t.IsLeaf() {
+			c.GetMPBToMem(t.Parent, buf, chunkAddr, m)
+			c.SetFlag(t.Parent, l.dnDoneLine(t.ChildIdx), seq(ch))
+			continue
+		}
+		if ch >= nb {
+			for i := range t.Children {
+				l.wait(l.dnDoneLine(i), seq(ch-nb))
+			}
+		}
+		c.GetMPBToMPB(t.Parent, buf, buf, m)
+		c.SetFlag(t.Parent, l.dnDoneLine(t.ChildIdx), seq(ch))
+		for _, child := range t.NotifyOwn {
+			c.SetFlag(child, l.dnNotifyLine(), seq(ch))
+		}
+		c.GetMPBToMem(c.ID(), buf, chunkAddr, m)
+	}
+	// Drain: my children must have consumed my last staged chunks.
+	for i := range t.Children {
+		l.wait(l.dnDoneLine(i), seq(n-1))
+	}
+}

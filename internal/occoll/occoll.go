@@ -1,26 +1,39 @@
 // Package occoll extends the paper's OC-Bcast technique — pipelined k-ary
 // trees over one-sided MPB RMA — to the remaining collectives its §7
-// names as future work: reduce, allreduce, scatter, gather and allgather.
-// Where the two-sided RCCE-based extensions in internal/collective pay a
-// synchronous flag handshake and an off-chip round trip per hop, every
-// operation here moves data with one-sided puts/gets between MPBs and
-// combines reduction chunks directly in the MPBs (rma.GetMPBCombine), the
-// same way OC-Bcast forwards broadcast chunks.
+// names as future work: broadcast, reduce, allreduce, scatter, gather and
+// allgather. Where the two-sided RCCE-based extensions in
+// internal/collective pay a synchronous flag handshake and an off-chip
+// round trip per hop, every operation here moves data with one-sided
+// puts/gets between MPBs and combines reduction chunks directly in the
+// MPBs (rma.GetMPBCombine), the same way OC-Bcast forwards broadcast
+// chunks.
 //
 // All operations share one propagation tree (core.BuildTree) and are
 // parameterized by the same Config as OC-Bcast: fan-out K, chunk size
-// BufLines (Moc) and DoubleBuffer. Data chunks live in the same MPB
-// buffer region as OC-Bcast's; occoll's synchronization flags occupy a
-// dedicated line block placed after OC-Bcast's flags and below the RCCE
-// layer's lines, so the three families can coexist on one chip.
+// BufLines (Moc) and DoubleBuffer. Every operation exists in a blocking
+// and a non-blocking form: the blocking form is literally the
+// non-blocking form followed by an immediate Wait, so both share one
+// protocol implementation (see request.go for the progress engine that
+// advances issued requests).
+//
+// The MPB is laid out in Config.Channels independent *lanes*, each with
+// its own chunk buffers and flag block, so up to Channels collectives can
+// be in flight per core at once. Lane 0 reproduces the classic layout:
+// data chunks live in the same MPB buffer region as OC-Bcast's, and the
+// lane's synchronization flags occupy a dedicated line block placed after
+// OC-Bcast's flags and below the RCCE layer's lines, so the three
+// families can coexist on one chip. Additional lanes stack above lane 0's
+// flag block.
 //
 // Every operation is a chip-wide collective: all cores must call it with
-// matching arguments (MPI style). An operation starts by zeroing the
-// core's own occoll flag lines and running a barrier, which makes it safe
-// to interleave occoll operations with OC-Bcast broadcasts and RCCE
-// two-sided traffic that scribble over the shared MPB region; it ends
-// fully drained (no peer still reads this core's MPB), so the other
-// families are safe to run afterwards.
+// matching arguments and in the same program order (MPI style); lanes are
+// assigned round-robin by issue order, so all cores agree on the lane
+// without negotiation. An operation starts by zeroing the core's own lane
+// flag lines and running a barrier, which makes it safe to interleave
+// occoll operations with OC-Bcast broadcasts and RCCE two-sided traffic
+// that scribble over the shared MPB region; it ends fully drained (no
+// peer still reads this core's MPB), so the other families are safe to
+// run afterwards.
 package occoll
 
 import (
@@ -35,52 +48,97 @@ import (
 
 // Config re-uses OC-Bcast's configuration: K, BufLines and DoubleBuffer
 // have identical meaning (the extra occast-only ablation fields are
-// ignored here).
+// ignored here), and Channels sets the number of MPB lanes.
 type Config = core.Config
 
 // ReduceOp combines src into dst; see collective.ReduceOp.
 type ReduceOp = collective.ReduceOp
 
 // Flag-line layout. OC-Bcast occupies [0, nb·BufLines) for data plus
-// 1+K flag lines; occoll's flags follow immediately:
+// 1+K flag lines; lane 0's occoll flags follow immediately:
 //
 //	dnNotify            1 line   down direction: chunk available at parent
 //	dnDone[K]           K lines  down direction: child i consumed chunk
 //	upReady[K]          K lines  up direction: child i staged chunk
 //	upConsumed          1 line   up direction: parent consumed my chunk
 //
-// The block must stay below line 251: the RCCE layer owns 251..255
-// (barrier + send/recv handshake) and the MPMD descriptor line is 252.
+// Lane i ≥ 1 stacks nb·BufLines data lines plus the same 2K+2 flag block
+// directly above lane i−1's flags. The whole stack must stay below line
+// 251: the RCCE layer owns 251..255 (barrier + send/recv handshake) and
+// the MPMD descriptor line is 252.
 const maxFlagLine = 250
 
-func flagBase(c Config) int {
-	nb := 1
+// numBuffers reports the chunk-buffer count per lane: 2 with double
+// buffering, else 1. Every layout computation derives from this one
+// helper so buffer rotation and line layout cannot desynchronize.
+func numBuffers(c Config) int {
 	if c.DoubleBuffer {
-		nb = 2
+		return 2
 	}
-	return nb*c.BufLines + 1 + c.K
+	return 1
+}
+
+func flagBase(c Config) int {
+	return numBuffers(c)*c.BufLines + 1 + c.K
+}
+
+// channels reports the configured lane count (0 means 1).
+func channels(c Config) int {
+	if c.Channels < 1 {
+		return 1
+	}
+	return c.Channels
+}
+
+// laneSpan is the number of MPB lines one lane occupies: its chunk
+// buffers plus its 2K+2 flag block.
+func laneSpan(c Config) int {
+	return numBuffers(c)*c.BufLines + 2*c.K + 2
+}
+
+// laneLayout returns lane i's first data line and first flag line. Lane 0
+// shares its data region with OC-Bcast (the classic layout); later lanes
+// stack above lane 0's flag block.
+func laneLayout(c Config, i int) (dataBase, flagBase0 int) {
+	if i == 0 {
+		return 0, flagBase(c)
+	}
+	base := flagBase(c) + 2*c.K + 2 + (i-1)*laneSpan(c)
+	return base, base + numBuffers(c)*c.BufLines
 }
 
 // Validate reports whether the MPB layout fits: OC-Bcast's buffers and
-// flags plus occoll's 2K+2 flag lines within lines 0..250.
+// flags plus every lane's buffers and 2K+2 flag lines within lines
+// 0..250.
 func Validate(c Config) error {
 	if err := c.Validate(); err != nil {
 		return err
 	}
-	if top := flagBase(c) + 2*c.K + 1; top > maxFlagLine {
-		return fmt.Errorf("occoll: layout needs flag lines up to %d, only 0..%d available (reduce BufLines or K)",
-			top, maxFlagLine)
+	_, fb := laneLayout(c, channels(c)-1)
+	if top := fb + 2*c.K + 1; top > maxFlagLine {
+		return fmt.Errorf("occoll: %d lane(s) need flag lines up to %d, only 0..%d available (reduce Channels, BufLines or K)",
+			channels(c), top, maxFlagLine)
 	}
 	return nil
 }
 
-// Collectives holds a core's one-sided collective state. Create one per
-// core inside Chip.Run, sharing the core's rcce.Port so barrier epochs
-// stay aligned with the program's own Barrier calls.
+// Collectives holds a core's one-sided collective state: the lane layout
+// plus the progress engine for non-blocking requests. Create one per core
+// inside Chip.Run, sharing the core's rcce.Port so barrier epochs stay
+// aligned with the program's own Barrier calls.
 type Collectives struct {
-	core *rma.Core
-	port *rcce.Port
-	cfg  Config
+	core  *rma.Core
+	port  *rcce.Port
+	cfg   Config
+	lanes []*lane
+
+	// reqs are the outstanding (issued, not yet completed) non-blocking
+	// requests in issue order; nissued counts every issue for the
+	// round-robin lane assignment. finished marks that the core's body
+	// function returned (see Finish).
+	reqs     []*Request
+	nissued  uint64
+	finished bool
 }
 
 // New prepares one-sided collective state for one core. It panics on a
@@ -90,32 +148,50 @@ func New(c *rma.Core, port *rcce.Port, cfg Config) *Collectives {
 	if err := Validate(cfg); err != nil {
 		panic(err)
 	}
-	return &Collectives{core: c, port: port, cfg: cfg}
+	x := &Collectives{core: c, port: port, cfg: cfg}
+	for i := 0; i < channels(cfg); i++ {
+		db, fb := laneLayout(cfg, i)
+		x.lanes = append(x.lanes, &lane{x: x, idx: i, dataBase: db, flagBase: fb})
+	}
+	return x
 }
 
-// numBuffers reports 2 with double buffering, else 1.
-func (x *Collectives) numBuffers() int {
-	if x.cfg.DoubleBuffer {
-		return 2
-	}
-	return 1
+// numBuffers reports the lane chunk-buffer count for this core's config.
+func (x *Collectives) numBuffers() int { return numBuffers(x.cfg) }
+
+// lane is one independent slice of the MPB layout: chunk buffers plus a
+// flag block. All cores use identical lane layouts, so a lane's line
+// numbers address the same protocol slot on every peer. The wait hook is
+// installed per request: blocking requests wait with rma.WaitFlagGE
+// (parking the simulated proc on the engine's run queue); requests being
+// advanced by Test/Progress poll with rma.TryFlagGE and park the protocol
+// coroutine instead.
+type lane struct {
+	x        *Collectives
+	idx      int
+	dataBase int
+	flagBase int
+	wait     func(line int, seq uint64)
+	req      *Request // current/last request occupying the lane
 }
 
 // bufLine maps a chunk/transfer index to its MPB slot's first line.
-func (x *Collectives) bufLine(i int) int { return (i % x.numBuffers()) * x.cfg.BufLines }
+func (l *lane) bufLine(i int) int {
+	return l.dataBase + (i%l.x.numBuffers())*l.x.cfg.BufLines
+}
 
-func (x *Collectives) dnNotifyLine() int     { return flagBase(x.cfg) }
-func (x *Collectives) dnDoneLine(i int) int  { return flagBase(x.cfg) + 1 + i }
-func (x *Collectives) upReadyLine(i int) int { return flagBase(x.cfg) + 1 + x.cfg.K + i }
-func (x *Collectives) upConsumedLine() int   { return flagBase(x.cfg) + 1 + 2*x.cfg.K }
+// slotLine maps a buffer-slot index (0..numBuffers-1) to its first line.
+func (l *lane) slotLine(s int) int { return l.dataBase + s*l.x.cfg.BufLines }
 
-// begin validates the collective's arguments, quiesces the chip and
-// resets this core's occoll flag lines, so per-operation sequence numbers
-// can restart at 1 regardless of what ran before. It returns this core's
-// tree node. ok is false for the trivial 1-core chip.
-func (x *Collectives) begin(root, addr, lines int) (t core.Tree, ok bool) {
-	c := x.core
-	p := c.N()
+func (l *lane) dnNotifyLine() int     { return l.flagBase }
+func (l *lane) dnDoneLine(i int) int  { return l.flagBase + 1 + i }
+func (l *lane) upReadyLine(i int) int { return l.flagBase + 1 + l.x.cfg.K + i }
+func (l *lane) upConsumedLine() int   { return l.flagBase + 1 + 2*l.x.cfg.K }
+
+// checkArgs validates a collective's arguments; ok is false for the
+// trivial 1-core chip (the operation is then a completed no-op).
+func (x *Collectives) checkArgs(root, addr, lines int) (ok bool) {
+	p := x.core.N()
 	if lines <= 0 {
 		panic(fmt.Sprintf("occoll: non-positive message size %d", lines))
 	}
@@ -125,22 +201,28 @@ func (x *Collectives) begin(root, addr, lines int) (t core.Tree, ok bool) {
 	if root < 0 || root >= p {
 		panic(fmt.Sprintf("occoll: root %d out of range [0,%d)", root, p))
 	}
-	if p == 1 {
-		return core.Tree{P: 1}, false
-	}
+	return p > 1
+}
+
+// begin quiesces the chip and resets this core's lane flag lines, so
+// per-operation sequence numbers can restart at 1 regardless of what ran
+// before. It returns this core's tree node.
+func (l *lane) begin(root int) core.Tree {
+	c, x := l.x.core, l.x
 	// Zero my flag lines BEFORE the barrier: at this point nothing is in
-	// flight toward them (the previous occoll operation drained, and
-	// non-occoll writers — e.g. a large RCCE send staging over this
+	// flight toward them (the lane's previous occoll operation drained,
+	// and non-occoll writers — e.g. a large RCCE send staging over this
 	// region — complete synchronously), and no peer re-enters the
 	// protocol until it passes the barrier below.
 	var zero [scc.CacheLine]byte
-	for l := flagBase(x.cfg); l <= flagBase(x.cfg)+2*x.cfg.K+1; l++ {
-		c.WriteLocalLine(l, zero[:])
+	for ln := l.flagBase; ln <= l.flagBase+2*x.cfg.K+1; ln++ {
+		c.WriteLocalLine(ln, zero[:])
 	}
 	// The barrier guarantees every core finished all earlier collectives
-	// — no stale reader of this core's MPB buffers survives it.
+	// on this lane — no stale reader of this core's lane buffers survives
+	// it.
 	x.port.Barrier()
-	return core.BuildTree(c.ID(), root, p, x.cfg.K), true
+	return core.BuildTree(c.ID(), root, c.N(), x.cfg.K)
 }
 
 // chunkSpan returns the line count of chunk ch out of `lines` total.

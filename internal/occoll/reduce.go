@@ -13,14 +13,18 @@ import (
 // parents fold children's chunks into their MPB-resident accumulator with
 // one-sided combining gets, pipelined chunk by chunk up the k-ary tree.
 func (x *Collectives) Reduce(root, addr, lines int, op ReduceOp) {
+	x.IReduce(root, addr, lines, op).Wait()
+}
+
+// IReduce is the non-blocking Reduce: it issues the reduction and returns
+// a Request to Test or Wait on while the core computes.
+func (x *Collectives) IReduce(root, addr, lines int, op ReduceOp) *Request {
 	if op == nil {
 		panic("occoll: nil reduce op")
 	}
-	t, ok := x.begin(root, addr, lines)
-	if !ok {
-		return
-	}
-	x.reduceUp(t, addr, lines, op)
+	return x.issue("IReduce", root, addr, lines, func(l *lane, t core.Tree) {
+		l.reduceUp(t, addr, lines, op)
+	})
 }
 
 // AllReduce is OC-Reduce fused with an OC-Bcast of the result: both
@@ -29,15 +33,19 @@ func (x *Collectives) Reduce(root, addr, lines int, op ReduceOp) {
 // frees each slot for the broadcast pipeline. Every core ends with the
 // combined result at addr.
 func (x *Collectives) AllReduce(addr, lines int, op ReduceOp) {
+	x.IAllReduce(addr, lines, op).Wait()
+}
+
+// IAllReduce is the non-blocking AllReduce: it issues the fused
+// reduce+broadcast and returns a Request to Test or Wait on.
+func (x *Collectives) IAllReduce(addr, lines int, op ReduceOp) *Request {
 	if op == nil {
 		panic("occoll: nil reduce op")
 	}
-	t, ok := x.begin(0, addr, lines)
-	if !ok {
-		return
-	}
-	x.reduceUp(t, addr, lines, op)
-	x.bcastDown(t, addr, lines)
+	return x.issue("IAllReduce", 0, addr, lines, func(l *lane, t core.Tree) {
+		l.reduceUp(t, addr, lines, op)
+		l.bcastDown(t, addr, lines)
+	})
 }
 
 // reduceUp runs the reduction pipeline toward the root. Per chunk, a
@@ -47,7 +55,8 @@ func (x *Collectives) AllReduce(addr, lines int, op ReduceOp) {
 // own parent. The root instead drains the fully combined chunk to
 // private memory. Flags carry 1-based chunk sequence numbers; slots are
 // reused double-buffered like OC-Bcast (§4.2).
-func (x *Collectives) reduceUp(t core.Tree, addr, lines int, op ReduceOp) {
+func (l *lane) reduceUp(t core.Tree, addr, lines int, op ReduceOp) {
+	x := l.x
 	c, cfg := x.core, x.cfg
 	n := x.nchunks(lines)
 	nb := x.numBuffers()
@@ -56,12 +65,12 @@ func (x *Collectives) reduceUp(t core.Tree, addr, lines int, op ReduceOp) {
 	for ch := 0; ch < n; ch++ {
 		m := x.chunkSpan(ch, lines)
 		off := addr + ch*cfg.BufLines*scc.CacheLine
-		buf := x.bufLine(ch)
+		buf := l.bufLine(ch)
 
 		// Reuse my accumulator slot only after my parent consumed the
 		// chunk that previously occupied it.
 		if t.Rank != 0 && ch >= nb {
-			c.WaitFlagGE(x.upConsumedLine(), seq(ch-nb))
+			l.wait(l.upConsumedLine(), seq(ch-nb))
 		}
 		// Stage my own contribution as the slot's accumulator.
 		c.PutMemToMPB(c.ID(), buf, off, m)
@@ -69,84 +78,21 @@ func (x *Collectives) reduceUp(t core.Tree, addr, lines int, op ReduceOp) {
 		// for the integer ops, exactly associative — results are
 		// byte-identical to the two-sided composition).
 		for i, child := range t.Children {
-			c.WaitFlagGE(x.upReadyLine(i), seq(ch))
+			l.wait(l.upReadyLine(i), seq(ch))
 			c.GetMPBCombine(child, buf, buf, m, op)
 			c.Compute(collective.CombineCost(m))
-			c.SetFlag(child, x.upConsumedLine(), seq(ch))
+			c.SetFlag(child, l.upConsumedLine(), seq(ch))
 		}
 		if t.Rank == 0 {
 			// Root: land the fully combined chunk in private memory.
 			c.GetMPBToMem(c.ID(), buf, off, m)
 		} else {
-			c.SetFlag(t.Parent, x.upReadyLine(t.ChildIdx), seq(ch))
+			c.SetFlag(t.Parent, l.upReadyLine(t.ChildIdx), seq(ch))
 		}
 	}
 	// Drain: my parent must have consumed my last staged chunks before I
 	// return (or hand the slots to AllReduce's broadcast half).
 	if t.Rank != 0 {
-		c.WaitFlagGE(x.upConsumedLine(), seq(n-1))
-	}
-}
-
-// bcastDown is the OC-Bcast §4 chunk pipeline over occoll's own
-// flag lines (dnNotify/dnDone), with the §5.4 leaf-direct optimization
-// always on: a leaf pulls each chunk from its parent's MPB straight to
-// private memory. It delivers `lines` cache lines from the tree root's
-// addr to the same address everywhere.
-func (x *Collectives) bcastDown(t core.Tree, addr, lines int) {
-	c, cfg := x.core, x.cfg
-	n := x.nchunks(lines)
-	nb := x.numBuffers()
-	seq := func(ch int) uint64 { return uint64(ch) + 1 }
-
-	if t.Rank == 0 {
-		for ch := 0; ch < n; ch++ {
-			m := x.chunkSpan(ch, lines)
-			buf := x.bufLine(ch)
-			if ch >= nb {
-				for i := range t.Children {
-					c.WaitFlagGE(x.dnDoneLine(i), seq(ch-nb))
-				}
-			}
-			c.PutMemToMPB(c.ID(), buf, addr+ch*cfg.BufLines*scc.CacheLine, m)
-			for _, child := range t.NotifyOwn {
-				c.SetFlag(child, x.dnNotifyLine(), seq(ch))
-			}
-		}
-		for i := range t.Children {
-			c.WaitFlagGE(x.dnDoneLine(i), seq(n-1))
-		}
-		return
-	}
-
-	for ch := 0; ch < n; ch++ {
-		m := x.chunkSpan(ch, lines)
-		chunkAddr := addr + ch*cfg.BufLines*scc.CacheLine
-		buf := x.bufLine(ch)
-
-		c.WaitFlagGE(x.dnNotifyLine(), seq(ch))
-		for _, sib := range t.NotifyFwd {
-			c.SetFlag(sib, x.dnNotifyLine(), seq(ch))
-		}
-		if t.IsLeaf() {
-			c.GetMPBToMem(t.Parent, buf, chunkAddr, m)
-			c.SetFlag(t.Parent, x.dnDoneLine(t.ChildIdx), seq(ch))
-			continue
-		}
-		if ch >= nb {
-			for i := range t.Children {
-				c.WaitFlagGE(x.dnDoneLine(i), seq(ch-nb))
-			}
-		}
-		c.GetMPBToMPB(t.Parent, buf, buf, m)
-		c.SetFlag(t.Parent, x.dnDoneLine(t.ChildIdx), seq(ch))
-		for _, child := range t.NotifyOwn {
-			c.SetFlag(child, x.dnNotifyLine(), seq(ch))
-		}
-		c.GetMPBToMem(c.ID(), buf, chunkAddr, m)
-	}
-	// Drain: my children must have consumed my last staged chunks.
-	for i := range t.Children {
-		c.WaitFlagGE(x.dnDoneLine(i), seq(n-1))
+		l.wait(l.upConsumedLine(), seq(n-1))
 	}
 }

@@ -1,0 +1,329 @@
+package occoll
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// The progress engine.
+//
+// A non-blocking collective is issued with IBcast/IReduce/IAllReduce/
+// IScatter/IGather/IAllGather, which returns a Request handle. Issuing
+// validates the arguments, claims the next MPB lane round-robin, zeroes
+// the lane's flags, runs the begin barrier, and then starts the lane
+// protocol — the same pipelined k-ary state machine the blocking
+// operation runs — but parks it at the first flag wait whose flag has not
+// arrived yet instead of blocking the simulated core.
+//
+// The parked protocol is advanced only when the core calls Progress,
+// Request.Test or Request.Wait (MPI-style: communication progresses
+// inside library calls). Progress and Test poll the pending flag with
+// rma.TryFlagGE — a failed probe costs no virtual time, a successful one
+// charges the same single C^mpb_r(1) poll read the blocking path charges
+// — and let the protocol run until its next unsatisfied wait. Wait
+// switches the protocol's waits to rma.WaitFlagGE, which parks the
+// simulated proc on the engine's run queue (internal/sim's indexed heap)
+// until a peer's flag write signals the watched MPB line; the blocking
+// collectives are exactly issue + Wait, which is why their simulated
+// timings are byte-identical to the pre-engine run-to-completion loops.
+//
+// Each protocol runs on its own goroutine, but exactly one goroutine per
+// simulated core is ever runnable: control transfers synchronously
+// between the core's body function and a request's protocol through the
+// resume/yield channel pair, so the protocol is a resumable state machine
+// whose program counter is its goroutine stack. Determinism is untouched
+// — the simulated proc is embodied by exactly one goroutine at a time.
+
+// waitMode selects how a request protocol's flag waits behave.
+type waitMode int
+
+const (
+	// modeTry polls once with rma.TryFlagGE and parks the protocol
+	// coroutine (yielding back to the driver) when the flag has not
+	// arrived — the Test/Progress path.
+	modeTry waitMode = iota
+	// modeBlock waits with rma.WaitFlagGE, parking the simulated proc on
+	// the scheduler until the flag write arrives — the Wait path.
+	modeBlock
+	// modeAbort makes the protocol unwind with errAbandoned so its
+	// goroutine exits — Finish's cleanup for leaked requests.
+	modeAbort
+)
+
+// errAbandoned unwinds an abandoned protocol coroutine; it never escapes
+// the request (body swallows it).
+var errAbandoned = errors.New("occoll: request abandoned")
+
+// Request is the handle of one in-flight non-blocking collective. A
+// request must be completed — observed by exactly one successful Test or
+// one Wait — before the issuing core's body returns; the handle is dead
+// afterwards, and reusing it panics (see Wait and Test).
+type Request struct {
+	x    *Collectives
+	op   string
+	lane *lane
+
+	mode     waitMode
+	done     bool // protocol locally complete (lane drained)
+	consumed bool // completion observed by Wait or a true Test
+
+	// pendLine/pendSeq describe the flag wait the protocol is parked on
+	// (valid while parked in modeTry).
+	pendLine int
+	pendSeq  uint64
+
+	panicVal any
+	resume   chan struct{} // driver -> protocol: run
+	yield    chan struct{} // protocol -> driver: parked or finished
+}
+
+// Op reports the name of the collective the request was issued by (e.g.
+// "IAllReduce"), for error messages and tests.
+func (r *Request) Op() string { return r.op }
+
+// issue starts a non-blocking collective: argument validation, lane
+// claim, begin (flag zeroing + barrier), then the protocol coroutine,
+// eagerly advanced to its first unsatisfied flag wait so communication
+// starts at issue time.
+func (x *Collectives) issue(op string, root, addr, lines int, run func(l *lane, t core.Tree)) *Request {
+	if x.finished {
+		panic(fmt.Sprintf("occoll: %s issued after its core finished", op))
+	}
+	if !x.checkArgs(root, addr, lines) {
+		// Trivial 1-core chip: the collective is a completed no-op.
+		return &Request{x: x, op: op, done: true}
+	}
+	l := x.lanes[int(x.nissued)%len(x.lanes)]
+	x.nissued++
+	if l.req != nil && !l.req.done {
+		// The lane's previous collective is still in flight: drive it to
+		// local completion before reusing the lane. Deterministic and
+		// symmetric — every core drives its own previous request at the
+		// same issue index — so all cores still agree on lane contents.
+		l.req.drive()
+	}
+	r := &Request{
+		x: x, op: op, lane: l,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+	}
+	l.req = r
+	l.wait = r.waitGE
+	t := l.begin(root)
+	go r.body(run, t)
+	x.compactReqs() // keep the list bounded by in-flight requests
+	x.reqs = append(x.reqs, r)
+	r.advance(modeTry)
+	return r
+}
+
+// compactReqs drops fully finished requests — protocol done AND handle
+// consumed — from the outstanding list, bounding it by the number of
+// requests still in flight or awaiting their Wait/Test. Done-but-
+// unconsumed requests are kept so Finish can flag them as leaked.
+func (x *Collectives) compactReqs() {
+	live := x.reqs[:0]
+	for _, r := range x.reqs {
+		if !r.done || !r.consumed {
+			live = append(live, r)
+		}
+	}
+	for i := len(live); i < len(x.reqs); i++ {
+		x.reqs[i] = nil
+	}
+	x.reqs = live
+}
+
+// body is the protocol coroutine: it waits for the first resume, runs the
+// lane protocol, and hands control back marking the request done. A panic
+// inside the protocol (a programming error or a simulated deadlock being
+// torn down) is captured and re-raised on the driving goroutine.
+func (r *Request) body(run func(l *lane, t core.Tree), t core.Tree) {
+	<-r.resume
+	defer func() {
+		if p := recover(); p != nil && p != errAbandoned {
+			r.panicVal = p
+		}
+		r.done = true
+		r.yield <- struct{}{}
+	}()
+	run(r.lane, t)
+}
+
+// advance transfers control to the protocol coroutine in the given wait
+// mode and returns when it parks on a flag or finishes.
+func (r *Request) advance(m waitMode) {
+	r.mode = m
+	r.resume <- struct{}{}
+	<-r.yield
+	if r.panicVal != nil {
+		p := r.panicVal
+		r.panicVal = nil
+		panic(p)
+	}
+}
+
+// waitGE is the lane's flag-wait hook while this request owns it. It runs
+// on the protocol coroutine: in modeBlock it simply blocks the simulated
+// proc like the classic run-to-completion loop did; in modeTry it polls
+// once and, if the flag has not arrived, parks the coroutine until the
+// driver's next advance (which may have switched the mode — a Wait after
+// some Progress calls finishes the protocol in modeBlock).
+func (r *Request) waitGE(line int, seq uint64) {
+	for {
+		switch r.mode {
+		case modeBlock:
+			r.x.core.WaitFlagGE(line, seq)
+			return
+		case modeAbort:
+			panic(errAbandoned)
+		}
+		if r.x.core.TryFlagGE(line, seq) {
+			return
+		}
+		r.pendLine, r.pendSeq = line, seq
+		r.yield <- struct{}{}
+		<-r.resume
+	}
+}
+
+// drive runs the protocol to completion with blocking waits, without
+// consuming the handle (used by Wait and by lane reuse at issue).
+func (r *Request) drive() {
+	for !r.done {
+		r.advance(modeBlock)
+	}
+}
+
+// Wait drives the request's protocol to completion, blocking the
+// simulated core on each pending flag (the proc parks on the scheduler
+// and unparks when the flag write arrives), and consumes the handle.
+// Waiting again — or after a true Test — panics: the handle is dead and a
+// second completion would desynchronize the lane's flag sequence.
+//
+// Wait progresses only THIS request (a simulated proc can park on one
+// flag line at a time), so with several requests in flight all cores
+// must Wait them in the same order — mismatched completion orders
+// deadlock the chip, exactly like mismatched blocking collectives, and
+// the simulator reports it as a deadlock panic. Cores that cannot
+// guarantee a symmetric order should poll with Test/Progress (which
+// advance every outstanding request) and only Wait the last one.
+func (r *Request) Wait() {
+	r.checkUsable("Wait")
+	r.drive()
+	r.consumed = true
+}
+
+// Test advances every outstanding request of the issuing core without
+// blocking (one Progress pass) and reports whether this request has
+// completed, consuming the handle if so. Testing a handle already
+// consumed by Wait or an earlier true Test panics.
+func (r *Request) Test() bool {
+	r.checkUsable("Test")
+	if !r.done {
+		r.x.Progress()
+	}
+	if r.done {
+		r.consumed = true
+		return true
+	}
+	return false
+}
+
+// checkUsable panics descriptively on the request-lifecycle misuses that
+// would otherwise corrupt MPB state: completing a handle twice, or
+// touching one after the issuing core's body returned.
+func (r *Request) checkUsable(method string) {
+	if r.x != nil && r.x.finished {
+		panic(fmt.Sprintf("occoll: %s on %s request after its core finished", method, r.op))
+	}
+	if r.consumed {
+		panic(fmt.Sprintf("occoll: %s on completed %s request (already observed by Wait or Test)", method, r.op))
+	}
+}
+
+// Progress advances every outstanding request as far as it can go without
+// blocking: each parked protocol re-polls its pending flag and, when the
+// flag has arrived, runs until its next unsatisfied wait (or completion).
+// Progress never blocks and — when nothing has arrived — costs no
+// simulated time, so a core can interleave it with Compute slices to
+// overlap communication with computation. Note that Progress alone never
+// advances the virtual clock: a polling loop must advance time (compute)
+// or Wait, or no peer's flag write can ever become visible.
+func (x *Collectives) Progress() {
+	if x.finished {
+		panic("occoll: Progress after its core finished")
+	}
+	advanced := false
+	for _, r := range x.reqs {
+		if r.done {
+			advanced = advanced || r.consumed
+			continue
+		}
+		// Every live request is parked on (pendLine, pendSeq); probe the
+		// flag for free before paying the context switch into the
+		// protocol coroutine. The coroutine re-polls with TryFlagGE,
+		// which charges the successful poll read.
+		if !x.core.ProbeFlagGE(r.pendLine, r.pendSeq) {
+			continue
+		}
+		r.advance(modeTry)
+		advanced = advanced || r.done
+	}
+	if advanced {
+		x.compactReqs()
+	}
+}
+
+// Outstanding reports how many issued requests have not completed their
+// protocol yet.
+func (x *Collectives) Outstanding() int {
+	n := 0
+	for _, r := range x.reqs {
+		if !r.done {
+			n++
+		}
+	}
+	return n
+}
+
+// Finish marks the core's body function as returned and enforces the
+// request contract: every issued request must have been consumed by one
+// Wait or one true Test. Leaking an in-flight request would leave peers
+// waiting on this core's lane flags with nobody left to progress the
+// protocol, and a completed-but-unobserved one is a latent bug, so
+// Finish panics descriptively instead of letting the chip corrupt MPB
+// state or deadlock obscurely — after unwinding any in-flight protocols'
+// coroutines, so a recovered panic leaks no goroutines. The public API
+// calls it when the SPMD body returns; after Finish, any use of the
+// engine or a request handle panics.
+func (x *Collectives) Finish() {
+	x.finished = true
+	var leaked []string
+	for _, r := range x.reqs {
+		if r.consumed {
+			continue
+		}
+		leaked = append(leaked, r.Op())
+		if !r.done {
+			r.abort()
+		}
+	}
+	if len(leaked) > 0 {
+		panic(fmt.Sprintf("occoll: core %d finished with %d unconsumed non-blocking request(s) %v: complete every request with Wait or a true Test before returning",
+			x.core.ID(), len(leaked), leaked))
+	}
+}
+
+// abort unwinds a parked protocol coroutine so its goroutine exits; the
+// request stays incomplete (done is set, but the lane protocol was cut
+// short — the chip is broken, which is why abort only runs on the way
+// into Finish's panic).
+func (r *Request) abort() {
+	r.mode = modeAbort
+	r.resume <- struct{}{}
+	<-r.yield
+	r.panicVal = nil
+}

@@ -14,14 +14,18 @@ import (
 // nodes hold their descendants' blocks afterwards, like the two-sided
 // recursive-halving scatter.
 func (x *Collectives) Scatter(root, addr, lines int) {
-	t, ok := x.begin(root, addr, lines)
-	if !ok {
-		return
-	}
-	if t.Rank != 0 {
-		x.recvSubtree(t, addr, lines)
-	}
-	x.streamDown(t, addr, lines)
+	x.IScatter(root, addr, lines).Wait()
+}
+
+// IScatter is the non-blocking Scatter: it issues the distribution and
+// returns a Request to Test or Wait on while the core computes.
+func (x *Collectives) IScatter(root, addr, lines int) *Request {
+	return x.issue("IScatter", root, addr, lines, func(l *lane, t core.Tree) {
+		if t.Rank != 0 {
+			l.recvSubtree(t, addr, lines)
+		}
+		l.streamDown(t, addr, lines)
+	})
 }
 
 // Gather collects each core's `lines`-line block onto the root: core i's
@@ -30,23 +34,31 @@ func (x *Collectives) Scatter(root, addr, lines int) {
 // streams into final addresses, then streams its own subtree (its block
 // first, descendants after, DFS order) up through its own MPB.
 func (x *Collectives) Gather(root, addr, lines int) {
-	t, ok := x.begin(root, addr, lines)
-	if !ok {
-		return
-	}
-	x.gatherUp(t, addr, lines)
+	x.IGather(root, addr, lines).Wait()
+}
+
+// IGather is the non-blocking Gather: it issues the collection and
+// returns a Request to Test or Wait on while the core computes.
+func (x *Collectives) IGather(root, addr, lines int) *Request {
+	return x.issue("IGather", root, addr, lines, func(l *lane, t core.Tree) {
+		l.gatherUp(t, addr, lines)
+	})
 }
 
 // AllGather exchanges every core's block so all cores hold all P blocks,
 // id-ordered at addr: an OC-Gather onto core 0 fused with an OC-Bcast of
 // the concatenated P·lines result down the same tree.
 func (x *Collectives) AllGather(addr, lines int) {
-	t, ok := x.begin(0, addr, lines)
-	if !ok {
-		return
-	}
-	x.gatherUp(t, addr, lines)
-	x.bcastDown(t, addr, lines*t.P)
+	x.IAllGather(addr, lines).Wait()
+}
+
+// IAllGather is the non-blocking AllGather: it issues the fused
+// gather+broadcast and returns a Request to Test or Wait on.
+func (x *Collectives) IAllGather(addr, lines int) *Request {
+	return x.issue("IAllGather", 0, addr, lines, func(l *lane, t core.Tree) {
+		l.gatherUp(t, addr, lines)
+		l.bcastDown(t, addr, lines*t.P)
+	})
 }
 
 // recvSubtree receives this node's subtree blocks from its parent, block
@@ -54,7 +66,8 @@ func (x *Collectives) AllGather(addr, lines int) {
 // double-buffered MPB slots and written to its final private address.
 // Transfer sequence numbers are per-edge and 1-based; slot rotation
 // follows the transfer index, so both ends agree without negotiation.
-func (x *Collectives) recvSubtree(t core.Tree, addr, lines int) {
+func (l *lane) recvSubtree(t core.Tree, addr, lines int) {
+	x := l.x
 	c, cfg := x.core, x.cfg
 	nb := uint64(x.numBuffers())
 	blockBytes := lines * scc.CacheLine
@@ -65,9 +78,9 @@ func (x *Collectives) recvSubtree(t core.Tree, addr, lines int) {
 			m := x.chunkSpan(chk, lines)
 			slot := int(tr % nb)
 			tr++
-			c.WaitFlagGE(x.dnNotifyLine(), tr)
-			c.GetMPBToMem(t.Parent, slot*cfg.BufLines, blockA+chk*cfg.BufLines*scc.CacheLine, m)
-			c.SetFlag(t.Parent, x.dnDoneLine(t.ChildIdx), tr)
+			l.wait(l.dnNotifyLine(), tr)
+			c.GetMPBToMem(t.Parent, l.slotLine(slot), blockA+chk*cfg.BufLines*scc.CacheLine, m)
+			c.SetFlag(t.Parent, l.dnDoneLine(t.ChildIdx), tr)
 		}
 	}
 }
@@ -77,10 +90,11 @@ func (x *Collectives) recvSubtree(t core.Tree, addr, lines int) {
 // pulls them with one-sided gets. Slots are shared across the per-child
 // streams; an occupancy table delays each staging until the slot's
 // previous occupant was consumed, and a final drain leaves the MPB free.
-func (x *Collectives) streamDown(t core.Tree, addr, lines int) {
+func (l *lane) streamDown(t core.Tree, addr, lines int) {
 	if t.IsLeaf() {
 		return
 	}
+	x := l.x
 	c, cfg := x.core, x.cfg
 	nb := x.numBuffers()
 	blockBytes := lines * scc.CacheLine
@@ -100,17 +114,17 @@ func (x *Collectives) streamDown(t core.Tree, addr, lines int) {
 				s := int(tc % uint64(nb))
 				tc++
 				if used[s].seq > 0 {
-					c.WaitFlagGE(x.dnDoneLine(used[s].childIdx), used[s].seq)
+					l.wait(l.dnDoneLine(used[s].childIdx), used[s].seq)
 				}
-				c.PutMemToMPB(c.ID(), s*cfg.BufLines, blockA+chk*cfg.BufLines*scc.CacheLine, m)
-				c.SetFlag(child, x.dnNotifyLine(), tc)
+				c.PutMemToMPB(c.ID(), l.slotLine(s), blockA+chk*cfg.BufLines*scc.CacheLine, m)
+				c.SetFlag(child, l.dnNotifyLine(), tc)
 				used[s] = occupant{childIdx: i, seq: tc}
 			}
 		}
 	}
 	for s := range used {
 		if used[s].seq > 0 {
-			c.WaitFlagGE(x.dnDoneLine(used[s].childIdx), used[s].seq)
+			l.wait(l.dnDoneLine(used[s].childIdx), used[s].seq)
 		}
 	}
 }
@@ -119,7 +133,8 @@ func (x *Collectives) streamDown(t core.Tree, addr, lines int) {
 // addresses with one-sided gets from the child's MPB, then (non-root)
 // streams this node's own subtree up through its MPB slots for the
 // parent. The trailing upConsumed wait drains the slots before return.
-func (x *Collectives) gatherUp(t core.Tree, addr, lines int) {
+func (l *lane) gatherUp(t core.Tree, addr, lines int) {
+	x := l.x
 	c, cfg := x.core, x.cfg
 	nb := uint64(x.numBuffers())
 	blockBytes := lines * scc.CacheLine
@@ -133,9 +148,9 @@ func (x *Collectives) gatherUp(t core.Tree, addr, lines int) {
 				m := x.chunkSpan(chk, lines)
 				s := int(tc % nb)
 				tc++
-				c.WaitFlagGE(x.upReadyLine(i), tc)
-				c.GetMPBToMem(child, s*cfg.BufLines, blockA+chk*cfg.BufLines*scc.CacheLine, m)
-				c.SetFlag(child, x.upConsumedLine(), tc)
+				l.wait(l.upReadyLine(i), tc)
+				c.GetMPBToMem(child, l.slotLine(s), blockA+chk*cfg.BufLines*scc.CacheLine, m)
+				c.SetFlag(child, l.upConsumedLine(), tc)
 			}
 		}
 	}
@@ -150,13 +165,13 @@ func (x *Collectives) gatherUp(t core.Tree, addr, lines int) {
 			s := int(tc % nb)
 			tc++
 			if tc > nb {
-				c.WaitFlagGE(x.upConsumedLine(), tc-nb)
+				l.wait(l.upConsumedLine(), tc-nb)
 			}
-			c.PutMemToMPB(c.ID(), s*cfg.BufLines, blockA+chk*cfg.BufLines*scc.CacheLine, m)
-			c.SetFlag(t.Parent, x.upReadyLine(t.ChildIdx), tc)
+			c.PutMemToMPB(c.ID(), l.slotLine(s), blockA+chk*cfg.BufLines*scc.CacheLine, m)
+			c.SetFlag(t.Parent, l.upReadyLine(t.ChildIdx), tc)
 		}
 	}
 	if tc > 0 {
-		c.WaitFlagGE(x.upConsumedLine(), tc)
+		l.wait(l.upConsumedLine(), tc)
 	}
 }

@@ -1,0 +1,92 @@
+package scc
+
+import "testing"
+
+// FuzzMeshTopology fuzzes topology construction and the routing
+// invariants everything downstream depends on: distance symmetry and
+// bounds, tile id round-tripping, controller validity, and X-Y path
+// lengths matching the hop distance.
+func FuzzMeshTopology(f *testing.F) {
+	f.Add(6, 4, 0, 47)
+	f.Add(1, 1, 0, 1)
+	f.Add(8, 8, 3, 120)
+	f.Add(16, 12, 100, 383)
+	f.Add(2, 9, 17, 2)
+	f.Fuzz(func(t *testing.T, w, h, a, b int) {
+		if w < 1 || h < 1 || w > 64 || h > 64 {
+			t.Skip()
+		}
+		topo := Mesh(w, h)
+		if err := topo.Validate(); err != nil {
+			t.Fatalf("Mesh(%d,%d) invalid: %v", w, h, err)
+		}
+		n := topo.NumCores()
+		if n != w*h*CoresPerTile {
+			t.Fatalf("Mesh(%d,%d): %d cores, want %d", w, h, n, w*h*CoresPerTile)
+		}
+		// Clamp the fuzzed core ids into range (the raw values also probe
+		// the panic guards below).
+		ca := ((a % n) + n) % n
+		cb := ((b % n) + n) % n
+
+		// Tile id <-> coordinate round trip for both cores' tiles.
+		for _, core := range []int{ca, cb} {
+			tile := topo.CoreTile(core)
+			coord := topo.TileCoord(tile)
+			if !topo.Contains(coord) {
+				t.Fatalf("core %d tile coord %v off the %v", core, coord, topo)
+			}
+			if got := topo.TileID(coord); got != tile {
+				t.Fatalf("tile round trip %d -> %v -> %d", tile, coord, got)
+			}
+		}
+
+		// Distance symmetry, the local-router floor (§2.2: even a core's
+		// own tile costs one router, so the minimum distance is 1), and
+		// the mesh diameter bound.
+		dab, dba := topo.CoreDistance(ca, cb), topo.CoreDistance(cb, ca)
+		if dab != dba {
+			t.Fatalf("distance asymmetry: d(%d,%d)=%d, d(%d,%d)=%d", ca, cb, dab, cb, ca, dba)
+		}
+		if topo.CoreDistance(ca, ca) != 1 {
+			t.Fatalf("self distance of core %d is %d, want 1 (local router)", ca, topo.CoreDistance(ca, ca))
+		}
+		if maxD := (w - 1) + (h - 1) + 1; dab < 1 || dab > maxD {
+			t.Fatalf("distance %d outside [1,%d]", dab, maxD)
+		}
+
+		// X-Y routing traverses one link fewer than the router count.
+		pa, pb := topo.CoreCoord(ca), topo.CoreCoord(cb)
+		if got := len(topo.XYPath(pa, pb)); got != dab-1 {
+			t.Fatalf("XYPath length %d != hop distance %d - 1", got, dab)
+		}
+
+		// The serving controller must be on the mesh and at least as close
+		// as every other controller.
+		ctl := topo.ControllerFor(ca)
+		if !topo.Contains(ctl) {
+			t.Fatalf("controller %v for core %d off the %v", ctl, ca, topo)
+		}
+		md := topo.MemDistance(ca)
+		for _, other := range topo.Controllers {
+			if d := HopDistance(pa, other); d < md {
+				t.Fatalf("controller %v at distance %d beats assigned %v at %d", other, d, ctl, md)
+			}
+		}
+
+		// Out-of-range core ids must be rejected, not mis-route.
+		for _, bad := range []int{-1, n, n + a&0xffff} {
+			if bad >= 0 && bad < n {
+				continue
+			}
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Fatalf("CoreTile(%d) on %v did not panic", bad, topo)
+					}
+				}()
+				topo.CoreTile(bad)
+			}()
+		}
+	})
+}

@@ -15,6 +15,7 @@ type CoreCounters struct {
 	CacheHitLines  int64 // private-memory reads served by the L1 model
 	FlagSets       int64 // 1-line flag writes
 	FlagWaits      int64 // flag wait operations
+	FlagPolls      int64 // failed non-blocking flag probes (cost no time)
 	PutOps, GetOps int64 // whole put/get invocations
 }
 
@@ -27,6 +28,7 @@ func (c *CoreCounters) Add(other CoreCounters) {
 	c.CacheHitLines += other.CacheHitLines
 	c.FlagSets += other.FlagSets
 	c.FlagWaits += other.FlagWaits
+	c.FlagPolls += other.FlagPolls
 	c.PutOps += other.PutOps
 	c.GetOps += other.GetOps
 }
@@ -37,9 +39,9 @@ func (c CoreCounters) OffChipLines() int64 { return c.MemReadLines + c.MemWriteL
 
 // String summarizes the counters.
 func (c CoreCounters) String() string {
-	return fmt.Sprintf("mpbR=%d mpbW=%d memR=%d memW=%d l1hit=%d flagSet=%d flagWait=%d put=%d get=%d",
+	return fmt.Sprintf("mpbR=%d mpbW=%d memR=%d memW=%d l1hit=%d flagSet=%d flagWait=%d flagPoll=%d put=%d get=%d",
 		c.MPBReadLines, c.MPBWriteLines, c.MemReadLines, c.MemWriteLines,
-		c.CacheHitLines, c.FlagSets, c.FlagWaits, c.PutOps, c.GetOps)
+		c.CacheHitLines, c.FlagSets, c.FlagWaits, c.FlagPolls, c.PutOps, c.GetOps)
 }
 
 // Sum totals a slice of per-core counters.

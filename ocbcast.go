@@ -69,6 +69,13 @@ type Options struct {
 	K int
 	// ChunkLines is OC-Bcast's chunk size Moc. 0 means the paper's 96.
 	ChunkLines int
+	// Channels is the number of independent MPB lanes for the one-sided
+	// collective family — the bound on how many non-blocking collectives
+	// (IBcastOC, IAllReduceOC, ...) can be in flight per core at once.
+	// 0 or 1 means one lane (the classic layout). Each extra lane costs
+	// numBuffers·ChunkLines + 2K+2 MPB lines, so more than one channel
+	// usually requires a smaller ChunkLines than the paper's 96.
+	Channels int
 	// DisableDoubleBuffer turns off the §4.2 double buffering.
 	DisableDoubleBuffer bool
 	// DisableContention turns off the MPB-port contention model,
@@ -124,6 +131,7 @@ func New(opts Options) *System {
 		occfg.BufLines = opts.ChunkLines
 	}
 	occfg.DoubleBuffer = !opts.DisableDoubleBuffer
+	occfg.Channels = opts.Channels
 	if err := occfg.Validate(); err != nil {
 		panic(err)
 	}
@@ -175,6 +183,11 @@ func (s *System) Run(body func(c *Core)) {
 			c.col = occoll.New(rc, port, s.occfg)
 		}
 		body(c)
+		if c.col != nil {
+			// Leaked non-blocking requests panic descriptively here
+			// instead of corrupting peers' MPB protocol state.
+			c.col.Finish()
+		}
 	})
 }
 
