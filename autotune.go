@@ -1,0 +1,119 @@
+package ocbcast
+
+import (
+	"fmt"
+
+	"repro/internal/algsel"
+)
+
+// Algorithm selection. Every collective method of Core resolves its
+// implementation through the algorithm registry (internal/algsel), which
+// wraps both stacks — the two-sided RCCE baselines and the one-sided OC
+// family — plus the algorithms that exist only through the registry
+// (the Rabenseifner reduce-scatter+allgather allreduce, the one-sided
+// ring allgather). Options.Algorithm picks the resolution mode:
+//
+//	""       paper-faithful defaults: each method runs exactly the stack
+//	         its name promises (goldens stay byte-identical)
+//	"auto"   model-driven: System.Tune()'s decision table picks the
+//	         predicted-fastest algorithm + fan-out + chunk per call, per
+//	         message size, for the chip's topology
+//	name     force one registered algorithm (e.g. "rabenseifner",
+//	         "ring", "twosided", "oc") wherever the operation registers
+//	         it; other operations keep their defaults
+//
+// The explicitly one-sided methods (ReduceOC, IAllGatherOC, ...) promise
+// MPB-RMA-only semantics, so under "auto" they select within the
+// one-sided family only — e.g. AllGatherOC may run the ring instead of
+// the gather+broadcast tree where the model prefers it.
+
+// PlanEntry is one row of the materialized decision table: Algorithm
+// (with fan-out K and pipeline chunk, 0 = configured default) wins for
+// op sizes up to MaxLines cache lines.
+type PlanEntry struct {
+	Op          string
+	MaxLines    int
+	Algorithm   string
+	K           int
+	ChunkLines  int
+	PredictedUs float64
+}
+
+// Tune materializes the decision table for this chip's topology and core
+// count from the closed-form model and returns it, one entry per (op,
+// size band), ops sorted, bands in ascending size order. With
+// Options.Algorithm "auto" the table is what Run's cores consult; Tune
+// is idempotent and cheap (pure arithmetic, no simulation).
+func (s *System) Tune() []PlanEntry {
+	if s.plan == nil {
+		s.plan = algsel.Tune(s.chip.Cfg.Params, s.chip.Topo(), s.chip.NCores, s.occfg)
+	}
+	var out []PlanEntry
+	for _, op := range algsel.Ops() {
+		for _, b := range s.plan.Bands[op] {
+			out = append(out, PlanEntry{
+				Op:          string(op),
+				MaxLines:    b.MaxLines,
+				Algorithm:   b.Choice.Alg,
+				K:           b.Choice.K,
+				ChunkLines:  b.Choice.ChunkLines,
+				PredictedUs: b.PredictedUs,
+			})
+		}
+	}
+	return out
+}
+
+// resolve returns the algorithm and tunable choice for one call: the
+// named override when it names an algorithm of this op, the plan's pick
+// under "auto", the compat default otherwise.
+func (c *Core) resolve(op algsel.Op, def string, lines int, oneSided bool) (*algsel.Algorithm, algsel.Choice) {
+	ch := algsel.Choice{Alg: def}
+	switch c.algName {
+	case "", "auto":
+		if c.algName == "auto" && c.plan != nil {
+			var planned algsel.Choice
+			var ok bool
+			if oneSided {
+				planned, ok = c.plan.ChooseOneSided(op, lines)
+			} else {
+				planned, ok = c.plan.Choose(op, lines)
+			}
+			if ok {
+				ch = planned
+			}
+		}
+	default:
+		if a, ok := algsel.Lookup(op, c.algName); ok && (!oneSided || a.OneSided) {
+			ch = algsel.Choice{Alg: c.algName}
+		}
+	}
+	a, ok := algsel.Lookup(op, ch.Alg)
+	if !ok {
+		panic(fmt.Sprintf("ocbcast: no registered algorithm %q for %s", ch.Alg, op))
+	}
+	return a, ch
+}
+
+// run resolves and executes one blocking collective.
+func (c *Core) run(op algsel.Op, def string, oneSided bool, a algsel.Args) {
+	alg, ch := c.resolve(op, def, a.Lines, oneSided)
+	alg.Run(c.env, ch, a)
+}
+
+// issue resolves and starts one non-blocking collective. Non-blocking
+// requests always run on the core's default-layout engine (so lane
+// round-robin, Progress and the leak check stay coherent): the resolved
+// algorithm may vary, but its K/chunk are clamped to the configured
+// defaults. An algorithm without a non-blocking twin falls back to def.
+func (c *Core) issue(op algsel.Op, def string, a algsel.Args) *Request {
+	alg, ch := c.resolve(op, def, a.Lines, true)
+	if alg.Issue == nil {
+		var ok bool
+		if alg, ok = algsel.Lookup(op, def); !ok || alg.Issue == nil {
+			panic(fmt.Sprintf("ocbcast: no non-blocking algorithm for %s", op))
+		}
+		ch = algsel.Choice{Alg: def}
+	}
+	return alg.Issue(c.env, algsel.Choice{Alg: ch.Alg}, a)
+}

@@ -1,0 +1,204 @@
+package ocbcast_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	ocbcast "repro"
+)
+
+// stageVectors writes a distinct int64 vector per core and returns the
+// expected elementwise sum.
+func stageVectors(sys *ocbcast.System, lines int) []byte {
+	n := sys.N()
+	nbytes := lines * ocbcast.CacheLineBytes
+	want := make([]byte, nbytes)
+	for c := 0; c < n; c++ {
+		buf := make([]byte, nbytes)
+		for i := 0; i+8 <= nbytes; i += 8 {
+			binary.LittleEndian.PutUint64(buf[i:], uint64(c*1000+i))
+		}
+		sys.WritePrivate(c, 0, buf)
+		ocbcast.SumInt64(want, buf)
+	}
+	return want
+}
+
+// checkAllReduce verifies every core holds the elementwise sum.
+func checkAllReduce(t *testing.T, sys *ocbcast.System, lines int, want []byte) {
+	t.Helper()
+	for c := 0; c < sys.N(); c++ {
+		got := sys.ReadPrivate(c, 0, len(want))
+		if !bytes.Equal(got, want) {
+			t.Fatalf("core %d: allreduce result mismatch", c)
+		}
+	}
+}
+
+// TestAlgorithmAuto runs AllReduce at sizes landing in different bands
+// of the decision table (hybrid, rabenseifner, deep oc tree): the
+// auto-selected algorithm must be invisible in the results.
+func TestAlgorithmAuto(t *testing.T) {
+	for _, lines := range []int{1, 16, 96, 256} {
+		sys := ocbcast.New(ocbcast.Options{Algorithm: "auto"})
+		want := stageVectors(sys, lines)
+		scratch := 1 << 20
+		sys.Run(func(c *ocbcast.Core) {
+			c.AllReduce(0, scratch, lines, ocbcast.SumInt64)
+		})
+		checkAllReduce(t, sys, lines, want)
+	}
+}
+
+// TestAlgorithmNamedOverride forces the registry's new algorithms from
+// the public API: Rabenseifner for AllReduce, the one-sided ring for
+// AllGather. Operations that do not register the name keep their
+// defaults (Broadcast under "rabenseifner" still works).
+func TestAlgorithmNamedOverride(t *testing.T) {
+	const lines = 13
+	sys := ocbcast.New(ocbcast.Options{Algorithm: "rabenseifner"})
+	want := stageVectors(sys, lines)
+	payload := make([]byte, 64)
+	for i := range payload {
+		payload[i] = byte(i + 1)
+	}
+	sys.Run(func(c *ocbcast.Core) {
+		c.AllReduce(0, 1<<20, lines, ocbcast.SumInt64)
+		c.Barrier()
+		c.Broadcast(0, 1<<21, 2) // rabenseifner registers no bcast: default OC-Bcast
+	})
+	checkAllReduce(t, sys, lines, want)
+
+	sys2 := ocbcast.New(ocbcast.Options{Algorithm: "ring"})
+	n := sys2.N()
+	nbytes := lines * ocbcast.CacheLineBytes
+	blocks := make([][]byte, n)
+	for c := 0; c < n; c++ {
+		blocks[c] = make([]byte, nbytes)
+		for i := range blocks[c] {
+			blocks[c][i] = byte(c*7 + i + 3)
+		}
+		sys2.WritePrivate(c, c*nbytes, blocks[c])
+	}
+	sys2.Run(func(c *ocbcast.Core) {
+		c.AllGather(0, lines)
+	})
+	for c := 0; c < n; c++ {
+		for b := 0; b < n; b++ {
+			if !bytes.Equal(sys2.ReadPrivate(c, b*nbytes, nbytes), blocks[b]) {
+				t.Fatalf("ring override: core %d block %d mismatch", c, b)
+			}
+		}
+	}
+}
+
+// TestAlgorithmAutoOneSided: the explicitly one-sided methods select
+// within the OC family only — AllGatherOC under "auto" may run the ring,
+// IAllReduceOC stays a working non-blocking handle.
+func TestAlgorithmAutoOneSided(t *testing.T) {
+	const lines = 5
+	sys := ocbcast.New(ocbcast.Options{Algorithm: "auto"})
+	n := sys.N()
+	nbytes := lines * ocbcast.CacheLineBytes
+	blocks := make([][]byte, n)
+	for c := 0; c < n; c++ {
+		blocks[c] = make([]byte, nbytes)
+		for i := range blocks[c] {
+			blocks[c][i] = byte(c*11 + i)
+		}
+		sys.WritePrivate(c, c*nbytes, blocks[c])
+	}
+	sys.Run(func(c *ocbcast.Core) {
+		c.AllGatherOC(0, lines)
+	})
+	for c := 0; c < n; c++ {
+		for b := 0; b < n; b++ {
+			if !bytes.Equal(sys.ReadPrivate(c, b*nbytes, nbytes), blocks[b]) {
+				t.Fatalf("auto AllGatherOC: core %d block %d mismatch", c, b)
+			}
+		}
+	}
+
+	sys2 := ocbcast.New(ocbcast.Options{Algorithm: "auto"})
+	want := stageVectors(sys2, lines)
+	sys2.Run(func(c *ocbcast.Core) {
+		r := c.IAllReduceOC(0, lines, ocbcast.SumInt64)
+		c.Compute(1)
+		r.Wait()
+	})
+	checkAllReduce(t, sys2, lines, want)
+}
+
+func TestAlgorithmUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown algorithm did not panic")
+		}
+	}()
+	ocbcast.New(ocbcast.Options{Algorithm: "definitely-not-registered"})
+}
+
+// TestTuneTable: the materialized decision table is well formed and
+// includes the crossover ladder the paper's story is about.
+func TestTuneTable(t *testing.T) {
+	sys := ocbcast.New(ocbcast.Options{})
+	entries := sys.Tune()
+	if len(entries) == 0 {
+		t.Fatal("empty plan")
+	}
+	seenOps := map[string]bool{}
+	prev := map[string]int{}
+	algs := map[string]bool{}
+	for _, e := range entries {
+		seenOps[e.Op] = true
+		algs[e.Algorithm] = true
+		if e.MaxLines <= prev[e.Op] {
+			t.Fatalf("%s: non-increasing band edge %d", e.Op, e.MaxLines)
+		}
+		prev[e.Op] = e.MaxLines
+		if e.PredictedUs <= 0 {
+			t.Fatalf("%s@%d: non-positive prediction", e.Op, e.MaxLines)
+		}
+	}
+	for _, op := range []string{"bcast", "reduce", "allreduce", "allgather"} {
+		if !seenOps[op] {
+			t.Errorf("plan missing op %s", op)
+		}
+	}
+	for _, alg := range []string{"rabenseifner", "ring"} {
+		if !algs[alg] {
+			t.Errorf("plan never selects %s", alg)
+		}
+	}
+}
+
+// TestCompatTimingPinned is the public-API twin of the internal golden
+// tests: with default options the registry-routed AllReduceOC must cost
+// exactly the pre-registry simulated time (the engine-era golden value).
+func TestCompatTimingPinned(t *testing.T) {
+	sys := ocbcast.New(ocbcast.Options{})
+	const lines = 256
+	stageVectors(sys, lines)
+	n := sys.N()
+	starts := make([]float64, n)
+	ends := make([]float64, n)
+	sys.Run(func(c *ocbcast.Core) {
+		c.Barrier()
+		starts[c.ID()] = c.NowMicros()
+		c.AllReduceOC(0, lines, ocbcast.SumInt64)
+		ends[c.ID()] = c.NowMicros()
+	})
+	first, last := starts[0], ends[0]
+	for i := 1; i < n; i++ {
+		if starts[i] < first {
+			first = starts[i]
+		}
+		if ends[i] > last {
+			last = ends[i]
+		}
+	}
+	if got := last - first; got != 1617.671 {
+		t.Fatalf("default-options AllReduceOC(8KiB) = %v µs, want exactly 1617.671 (the golden snapshot)", got)
+	}
+}

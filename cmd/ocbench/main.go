@@ -10,6 +10,8 @@
 //	ocbench scale                # model vs simulation on 48..384-core meshes
 //	ocbench overlap              # non-blocking overlap sweep (fig-overlap)
 //	ocbench perf                 # wall-clock simulator throughput -> BENCH_simperf.json
+//	ocbench tune                 # decision tables + auto-selection regret -> BENCH_simperf.json
+//	ocbench -verify tune         # gate the checked-in crossover table (CI)
 //
 // Flags:
 //
@@ -31,6 +33,8 @@ func main() {
 	effort := flag.Int("effort", 2, "repetition-count multiplier (>=1)")
 	noContention := flag.Bool("no-contention", false, "disable the MPB contention model")
 	noCache := flag.Bool("no-cache", false, "disable the L1 cache model")
+	regretMax := flag.Float64("regret-max", 5, "tune: max auto-selection regret in percent before failing")
+	verify := flag.Bool("verify", false, "tune: gate the checked-in crossover table without simulating")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -55,9 +59,22 @@ func main() {
 			fmt.Printf("  %-10s %s\n", e.Name, e.Desc)
 		}
 		fmt.Printf("  %-10s %s\n", "perf", "wall-clock simulator throughput -> BENCH_simperf.json")
+		fmt.Printf("  %-10s %s\n", "tune", "decision tables + auto-selection regret gate -> BENCH_simperf.json")
 		return
 	case "perf":
 		if err := runPerf(cfg, *effort); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	case "tune":
+		err := error(nil)
+		if *verify {
+			err = runTuneVerify(*regretMax)
+		} else {
+			err = runTune(cfg, *effort, *regretMax)
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

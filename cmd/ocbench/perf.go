@@ -3,7 +3,6 @@ package main
 import (
 	"encoding/json"
 	"fmt"
-	"os"
 	"runtime"
 	"time"
 
@@ -170,11 +169,15 @@ func runPerf(cfg scc.Config, effort int) error {
 		})
 	}
 
-	out, err := json.MarshalIndent(perf, "", "  ")
-	if err != nil {
+	// Merge through patchPerfFile so sections owned by other subcommands
+	// (tune's "crossover") survive a perf refresh.
+	var sections map[string]any
+	if raw, err := json.Marshal(perf); err != nil {
+		return err
+	} else if err := json.Unmarshal(raw, &sections); err != nil {
 		return err
 	}
-	if err := os.WriteFile("BENCH_simperf.json", append(out, '\n'), 0o644); err != nil {
+	if err := patchPerfFile(sections); err != nil {
 		return err
 	}
 

@@ -1,0 +1,143 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/algsel"
+	occore "repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/scc"
+)
+
+// The tune subcommand materializes the algorithm registry's decision
+// tables for the 48–384-core mesh sweep, validates auto-selection
+// against simulation (the fig-crossover regret), writes the results into
+// BENCH_simperf.json's "crossover" section, and fails when any cell's
+// regret exceeds the gate — the covergate-style check CI runs. With
+// -verify it re-checks the checked-in section without simulating.
+
+// crossoverCell is one row of the perf file's crossover section.
+type crossoverCell struct {
+	Mesh      string  `json:"mesh"`
+	Cores     int     `json:"cores"`
+	Op        string  `json:"op"`
+	Lines     int     `json:"lines"`
+	Auto      string  `json:"auto"`
+	AutoUs    float64 `json:"auto_us"`
+	Best      string  `json:"best"`
+	BestUs    float64 `json:"best_us"`
+	RegretPct float64 `json:"regret_pct"`
+}
+
+// crossoverSection is BENCH_simperf.json's "crossover" value: the
+// checked-in decision quality of model-driven auto-selection.
+type crossoverSection struct {
+	RegretMaxPct float64         `json:"regret_max_pct"`
+	MaxRegretPct float64         `json:"max_regret_pct"`
+	Cells        []crossoverCell `json:"cells"`
+}
+
+const perfFile = "BENCH_simperf.json"
+
+// patchPerfFile merges the given top-level sections into the perf file,
+// preserving every section it does not overwrite (perf and tune own
+// disjoint keys of the same file).
+func patchPerfFile(sections map[string]any) error {
+	doc := map[string]json.RawMessage{}
+	if raw, err := os.ReadFile(perfFile); err == nil {
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			return fmt.Errorf("%s exists but is not JSON: %w", perfFile, err)
+		}
+	}
+	for key, val := range sections {
+		raw, err := json.Marshal(val)
+		if err != nil {
+			return err
+		}
+		doc[key] = raw
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(perfFile, append(out, '\n'), 0o644)
+}
+
+// runTune computes plans, measures regret, updates the perf file and
+// gates. regretMax is the failure threshold in percent.
+func runTune(cfg scc.Config, effort int, regretMax float64) error {
+	base := occore.DefaultConfig()
+	for _, topo := range harness.CrossoverMeshes(effort) {
+		plan := algsel.Tune(cfg.Params, topo, topo.NumCores(), base)
+		fmt.Print(plan)
+	}
+
+	pts := harness.CrossoverSweep(cfg, effort)
+	harness.CrossoverTable(pts).Fprint(os.Stdout)
+
+	sec := crossoverSection{RegretMaxPct: regretMax}
+	for _, p := range pts {
+		sec.Cells = append(sec.Cells, crossoverCell{
+			Mesh:      fmt.Sprintf("%dx%d", p.Topo.W, p.Topo.H),
+			Cores:     p.Topo.NumCores(),
+			Op:        string(p.Op),
+			Lines:     p.Lines,
+			Auto:      p.Auto.String(),
+			AutoUs:    p.AutoUs,
+			Best:      p.Best.String(),
+			BestUs:    p.BestUs,
+			RegretPct: p.RegretPct,
+		})
+		if p.RegretPct > sec.MaxRegretPct {
+			sec.MaxRegretPct = p.RegretPct
+		}
+	}
+	if err := patchPerfFile(map[string]any{"crossover": sec}); err != nil {
+		return err
+	}
+	fmt.Printf("tune: %d cells, max regret %.2f%% (gate %.0f%%), wrote %s\n",
+		len(sec.Cells), sec.MaxRegretPct, regretMax, perfFile)
+	return gateRegret(sec, regretMax)
+}
+
+// runTuneVerify gates the checked-in crossover section without
+// simulating — the cheap CI re-check of the committed table.
+func runTuneVerify(regretMax float64) error {
+	raw, err := os.ReadFile(perfFile)
+	if err != nil {
+		return fmt.Errorf("tune -verify: %w (run `ocbench tune` first)", err)
+	}
+	var doc struct {
+		Crossover *crossoverSection `json:"crossover"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return fmt.Errorf("tune -verify: %s: %w", perfFile, err)
+	}
+	if doc.Crossover == nil || len(doc.Crossover.Cells) == 0 {
+		return fmt.Errorf("tune -verify: %s has no crossover section (run `ocbench tune`)", perfFile)
+	}
+	fmt.Printf("tune -verify: %d checked-in cells, max regret %.2f%% (gate %.0f%%)\n",
+		len(doc.Crossover.Cells), doc.Crossover.MaxRegretPct, regretMax)
+	return gateRegret(*doc.Crossover, regretMax)
+}
+
+// gateRegret fails when any cell's auto-selection regret exceeds the
+// threshold.
+func gateRegret(sec crossoverSection, regretMax float64) error {
+	var bad []crossoverCell
+	for _, c := range sec.Cells {
+		if c.RegretPct > regretMax {
+			bad = append(bad, c)
+		}
+	}
+	if len(bad) == 0 {
+		return nil
+	}
+	for _, c := range bad {
+		fmt.Fprintf(os.Stderr, "tune: REGRET %s %d cores %s %d CL: auto %s %.2f µs vs best %s %.2f µs (%.2f%% > %.0f%%)\n",
+			c.Mesh, c.Cores, c.Op, c.Lines, c.Auto, c.AutoUs, c.Best, c.BestUs, c.RegretPct, regretMax)
+	}
+	return fmt.Errorf("tune: %d cell(s) exceed the %.0f%% auto-selection regret gate", len(bad), regretMax)
+}

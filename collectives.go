@@ -1,6 +1,7 @@
 package ocbcast
 
 import (
+	"repro/internal/algsel"
 	"repro/internal/collective"
 	"repro/internal/occoll"
 )
@@ -38,26 +39,33 @@ var (
 // the root (binomial tree). scratchAddr is same-size private staging the
 // operation may clobber on interior nodes.
 func (c *Core) Reduce(root, addr, scratchAddr, lines int, op ReduceOp) {
-	c.comm.Reduce(root, addr, scratchAddr, lines, op)
+	c.run(algsel.OpReduce, "twosided", false,
+		algsel.Args{Root: root, Addr: addr, Scratch: scratchAddr, Lines: lines, Reduce: op})
 }
 
 // AllReduce reduces to core 0 with the two-sided binomial tree, then
 // broadcasts the result with OC-Bcast — the hybrid composition the
 // paper's §7 suggests. For the fully one-sided version see AllReduceOC.
 func (c *Core) AllReduce(addr, scratchAddr, lines int, op ReduceOp) {
-	c.comm.Reduce(0, addr, scratchAddr, lines, op)
-	c.bc.Bcast(0, addr, lines)
+	c.run(algsel.OpAllReduce, "hybrid", false,
+		algsel.Args{Addr: addr, Scratch: scratchAddr, Lines: lines, Reduce: op})
 }
 
 // Gather collects each core's block (at addr + id·lines·32) onto the root.
-func (c *Core) Gather(root, addr, lines int) { c.comm.Gather(root, addr, lines) }
+func (c *Core) Gather(root, addr, lines int) {
+	c.run(algsel.OpGather, "twosided", false, algsel.Args{Root: root, Addr: addr, Lines: lines})
+}
 
 // Scatter distributes per-core blocks from the root's memory layout
 // (block i at addr + i·lines·32) to each core.
-func (c *Core) Scatter(root, addr, lines int) { c.comm.Scatter(root, addr, lines) }
+func (c *Core) Scatter(root, addr, lines int) {
+	c.run(algsel.OpScatter, "twosided", false, algsel.Args{Root: root, Addr: addr, Lines: lines})
+}
 
 // AllGather exchanges every core's block so all cores hold all P blocks.
-func (c *Core) AllGather(addr, lines int) { c.comm.AllGather(addr, lines) }
+func (c *Core) AllGather(addr, lines int) {
+	c.run(algsel.OpAllGather, "twosided", false, algsel.Args{Addr: addr, Lines: lines})
+}
 
 // --- One-sided family (pipelined k-ary trees over MPB RMA) ---
 
@@ -67,7 +75,8 @@ func (c *Core) AllGather(addr, lines int) { c.comm.AllGather(addr, lines) }
 // pipelined like OC-Bcast. Needs no scratch area; non-root inputs are
 // left untouched.
 func (c *Core) ReduceOC(root, addr, lines int, op ReduceOp) {
-	c.occ().Reduce(root, addr, lines, op)
+	c.occ()
+	c.run(algsel.OpReduce, "oc", true, algsel.Args{Root: root, Addr: addr, Lines: lines, Reduce: op})
 }
 
 // AllReduceOC is OC-Reduce fused with an OC-Bcast of the result down the
@@ -75,28 +84,41 @@ func (c *Core) ReduceOC(root, addr, lines int, op ReduceOp) {
 // addr. At 48 cores it beats the two-sided Reduce+Bcast composition from
 // a few hundred bytes up (2.5x and rising at 8 KiB).
 func (c *Core) AllReduceOC(addr, lines int, op ReduceOp) {
-	c.occ().AllReduce(addr, lines, op)
+	c.occ()
+	c.run(algsel.OpAllReduce, "oc", true, algsel.Args{Addr: addr, Lines: lines, Reduce: op})
 }
 
 // GatherOC collects each core's block (at addr + id·lines·32) onto the
 // root, streamed up the k-ary tree through double-buffered MPB slots.
-func (c *Core) GatherOC(root, addr, lines int) { c.occ().Gather(root, addr, lines) }
+func (c *Core) GatherOC(root, addr, lines int) {
+	c.occ()
+	c.run(algsel.OpGather, "oc", true, algsel.Args{Root: root, Addr: addr, Lines: lines})
+}
 
 // ScatterOC distributes per-core blocks from the root's memory layout
 // (block i at addr + i·lines·32), streamed down the k-ary tree
 // store-and-forward.
-func (c *Core) ScatterOC(root, addr, lines int) { c.occ().Scatter(root, addr, lines) }
+func (c *Core) ScatterOC(root, addr, lines int) {
+	c.occ()
+	c.run(algsel.OpScatter, "oc", true, algsel.Args{Root: root, Addr: addr, Lines: lines})
+}
 
 // AllGatherOC is an OC-Gather onto core 0 fused with an OC-Bcast of the
 // concatenated result, leaving all P blocks id-ordered at addr on every
 // core.
-func (c *Core) AllGatherOC(addr, lines int) { c.occ().AllGather(addr, lines) }
+func (c *Core) AllGatherOC(addr, lines int) {
+	c.occ()
+	c.run(algsel.OpAllGather, "oc", true, algsel.Args{Addr: addr, Lines: lines})
+}
 
 // BcastOC broadcasts `lines` cache lines from root's addr to the same
 // address everywhere — the OC-Bcast chunk pipeline run over an occoll
 // lane, and the blocking twin of IBcastOC. (Broadcast remains the
 // paper-faithful standalone OC-Bcast with its own flag layout.)
-func (c *Core) BcastOC(root, addr, lines int) { c.occ().Bcast(root, addr, lines) }
+func (c *Core) BcastOC(root, addr, lines int) {
+	c.occ()
+	c.run(algsel.OpBcast, "oc", true, algsel.Args{Root: root, Addr: addr, Lines: lines})
+}
 
 // --- Non-blocking one-sided family (the progress engine) ---
 //
@@ -120,32 +142,38 @@ type Request = occoll.Request
 
 // IBcastOC starts a non-blocking BcastOC and returns its handle.
 func (c *Core) IBcastOC(root, addr, lines int) *Request {
-	return c.occ().IBcast(root, addr, lines)
+	c.occ()
+	return c.issue(algsel.OpBcast, "oc", algsel.Args{Root: root, Addr: addr, Lines: lines})
 }
 
 // IReduceOC starts a non-blocking ReduceOC and returns its handle.
 func (c *Core) IReduceOC(root, addr, lines int, op ReduceOp) *Request {
-	return c.occ().IReduce(root, addr, lines, op)
+	c.occ()
+	return c.issue(algsel.OpReduce, "oc", algsel.Args{Root: root, Addr: addr, Lines: lines, Reduce: op})
 }
 
 // IAllReduceOC starts a non-blocking AllReduceOC and returns its handle.
 func (c *Core) IAllReduceOC(addr, lines int, op ReduceOp) *Request {
-	return c.occ().IAllReduce(addr, lines, op)
+	c.occ()
+	return c.issue(algsel.OpAllReduce, "oc", algsel.Args{Addr: addr, Lines: lines, Reduce: op})
 }
 
 // IScatterOC starts a non-blocking ScatterOC and returns its handle.
 func (c *Core) IScatterOC(root, addr, lines int) *Request {
-	return c.occ().IScatter(root, addr, lines)
+	c.occ()
+	return c.issue(algsel.OpScatter, "oc", algsel.Args{Root: root, Addr: addr, Lines: lines})
 }
 
 // IGatherOC starts a non-blocking GatherOC and returns its handle.
 func (c *Core) IGatherOC(root, addr, lines int) *Request {
-	return c.occ().IGather(root, addr, lines)
+	c.occ()
+	return c.issue(algsel.OpGather, "oc", algsel.Args{Root: root, Addr: addr, Lines: lines})
 }
 
 // IAllGatherOC starts a non-blocking AllGatherOC and returns its handle.
 func (c *Core) IAllGatherOC(addr, lines int) *Request {
-	return c.occ().IAllGather(addr, lines)
+	c.occ()
+	return c.issue(algsel.OpAllGather, "oc", algsel.Args{Addr: addr, Lines: lines})
 }
 
 // Progress advances every outstanding non-blocking request as far as it

@@ -1,0 +1,151 @@
+package calibrate
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/algsel"
+	"repro/internal/core"
+	"repro/internal/scc"
+)
+
+func TestFindCrossover(t *testing.T) {
+	// B already at or below A at size 1.
+	if got := findCrossover(func(int) (float64, float64) { return 2, 1 }, 64); got != 1 {
+		t.Fatalf("crossover = %d, want 1", got)
+	}
+	// B overtakes A at exactly 17: a = 100, b = 270 − 10n.
+	g := func(lines int) (float64, float64) { return 100, 270 - 10*float64(lines) }
+	if got := findCrossover(g, 1000); got != 17 {
+		t.Fatalf("crossover = %d, want 17", got)
+	}
+	// Never crosses within the bound.
+	if got := findCrossover(func(int) (float64, float64) { return 1, 2 }, 64); got != -1 {
+		t.Fatalf("crossover = %d, want -1", got)
+	}
+	if s := (Crossover{Op: algsel.OpAllReduce, A: "a", B: "b", MaxLines: 64, Lines: -1}).String(); !strings.Contains(s, "never") {
+		t.Errorf("never-crossover string %q", s)
+	}
+}
+
+func TestPredictedCrossoverThresholds(t *testing.T) {
+	base := core.DefaultConfig()
+	topo := scc.SCC()
+	// Rabenseifner overtakes the hybrid composition in the low tens of
+	// lines on the 48-core chip (the fig-crossover sweep shows hybrid
+	// winning at 4 lines and rabenseifner at 16).
+	x, err := PredictedCrossover(scc.Table1(), topo, scc.NumCores, base,
+		algsel.OpAllReduce, "hybrid", "rabenseifner", 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Lines < 5 || x.Lines > 16 {
+		t.Errorf("hybrid->rabenseifner crossover at %d lines, want within (4, 16]", x.Lines)
+	}
+	if !strings.Contains(x.String(), "overtakes") {
+		t.Errorf("crossover string %q", x)
+	}
+	// Beyond the crossover the ranking is strict: at 4096 lines the deep
+	// one-sided tree must already have overtaken the hybrid.
+	ocX, err := PredictedCrossover(scc.Table1(), topo, scc.NumCores, base,
+		algsel.OpAllReduce, "hybrid", "oc", 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ocX.Lines < 0 || ocX.Lines > 4096 {
+		t.Errorf("hybrid->oc crossover %v, want within the table", ocX)
+	}
+}
+
+func TestPredictedCrossoverErrors(t *testing.T) {
+	base := core.DefaultConfig()
+	if _, err := PredictedCrossover(scc.Table1(), scc.SCC(), 48, base,
+		algsel.OpAllReduce, "hybrid", "no-such-algorithm", 64); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	// sag has no model.
+	if _, err := PredictedCrossover(scc.Table1(), scc.SCC(), 48, base,
+		algsel.OpBcast, "sag", "binomial", 64); err == nil {
+		t.Error("model-less algorithm accepted")
+	}
+	if _, _, err := ValidateCrossover(scc.DefaultConfig(), base,
+		algsel.OpAllReduce, "hybrid", "rabenseifner", 64, 0.5); err == nil {
+		t.Error("factor < 1 accepted")
+	}
+}
+
+// TestValidateCrossoverAgainstSimulation is the fit target: the model's
+// hybrid→rabenseifner threshold must land within 2x of the simulator's.
+// Kept to a modest maxLines so the bisection's simulations stay cheap.
+func TestValidateCrossoverAgainstSimulation(t *testing.T) {
+	cfg := scc.DefaultConfig()
+	base := core.DefaultConfig()
+	pred, meas, err := ValidateCrossover(cfg, base, algsel.OpAllReduce, "hybrid", "rabenseifner", 256, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meas.Lines < 2 {
+		t.Errorf("measured crossover %v suspiciously small", meas)
+	}
+	t.Logf("predicted %v; measured %v", pred, meas)
+}
+
+// TestValidateCrossoverBounds drives the remaining agreement branches
+// with bounds derived from the actual thresholds, so the test tracks
+// model refinements instead of hard-coding them: below both thresholds
+// the validators agree on "never"; a bound separating the two thresholds
+// must be reported as a disagreement.
+func TestValidateCrossoverBounds(t *testing.T) {
+	cfg := scc.DefaultConfig()
+	base := core.DefaultConfig()
+	pred, meas, err := ValidateCrossover(cfg, base, algsel.OpAllReduce, "hybrid", "rabenseifner", 256, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := pred.Lines, meas.Lines
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if _, _, err := ValidateCrossover(cfg, base, algsel.OpAllReduce, "hybrid", "rabenseifner", lo-1, 2); err != nil {
+		t.Errorf("below both thresholds: %v", err)
+	}
+	if lo != hi {
+		if _, _, err := ValidateCrossover(cfg, base, algsel.OpAllReduce, "hybrid", "rabenseifner", hi-1, 2); err == nil {
+			t.Error("bound between the thresholds not reported as disagreement")
+		}
+	}
+	if _, _, err := ValidateCrossover(cfg, base, algsel.OpAllReduce, "hybrid", "nope", 64, 2); err == nil {
+		t.Error("unknown pair accepted")
+	}
+}
+
+// TestFitThenPredictCrossover closes the round trip the package exists
+// for: fit the Table 1 parameters from simulated microbenchmarks, then
+// predict the crossover thresholds from the *fitted* parameters — they
+// must match the thresholds predicted from the configured truth, because
+// the fit recovers the parameters almost exactly.
+func TestFitThenPredictCrossover(t *testing.T) {
+	samples := Microbench(scc.DefaultConfig(), []int{1, 2, 4, 8, 16, 32})
+	fit, err := FitParams(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := core.DefaultConfig()
+	topo := scc.SCC()
+	for _, pair := range [][2]string{{"hybrid", "rabenseifner"}, {"rabenseifner", "oc"}} {
+		truth, err := PredictedCrossover(scc.Table1(), topo, scc.NumCores, base,
+			algsel.OpAllReduce, pair[0], pair[1], algsel.MaxTuneLines)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fitted, err := PredictedCrossover(fit.Params, topo, scc.NumCores, base,
+			algsel.OpAllReduce, pair[0], pair[1], algsel.MaxTuneLines)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if truth.Lines != fitted.Lines {
+			t.Errorf("%s->%s: truth-params crossover %d lines, fitted-params %d",
+				pair[0], pair[1], truth.Lines, fitted.Lines)
+		}
+	}
+}

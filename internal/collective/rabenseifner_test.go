@@ -1,0 +1,117 @@
+package collective
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/rcce"
+	"repro/internal/rma"
+	"repro/internal/scc"
+)
+
+func TestSegmentPartition(t *testing.T) {
+	// The final halving segments of all pof2 participants must tile
+	// [0,lines) exactly, in some order, for any lines (including
+	// lines < pof2, where some segments are empty).
+	for _, pof2 := range []int{2, 4, 8, 16, 32} {
+		for _, lines := range []int{1, 3, 16, 17, 100} {
+			covered := make([]int, lines)
+			for nr := 0; nr < pof2; nr++ {
+				lo, hi := segment(nr, pof2, 1, lines)
+				if lo < 0 || hi > lines || lo > hi {
+					t.Fatalf("pof2=%d lines=%d nr=%d: bad segment [%d,%d)", pof2, lines, nr, lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					covered[i]++
+				}
+			}
+			for i, c := range covered {
+				if c != 1 {
+					t.Fatalf("pof2=%d lines=%d: line %d covered %d times", pof2, lines, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestRealRankInvertsFold(t *testing.T) {
+	// realRank must map the pof2 participant space injectively onto the
+	// surviving core ids: evens of the first 2r cores plus cores >= 2r.
+	for _, p := range []int{2, 3, 5, 8, 12, 48} {
+		pof2 := 1
+		for pof2*2 <= p {
+			pof2 *= 2
+		}
+		r := p - pof2
+		seen := map[int]bool{}
+		for nr := 0; nr < pof2; nr++ {
+			id := realRank(nr, r)
+			if id < 0 || id >= p || seen[id] {
+				t.Fatalf("p=%d: realRank(%d)=%d invalid or duplicate", p, nr, id)
+			}
+			if id < 2*r && id%2 == 1 {
+				t.Fatalf("p=%d: realRank(%d)=%d is a folded-away odd core", p, nr, id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestAllReduceRabenseifnerMatchesBinomial(t *testing.T) {
+	// Core counts cover powers of two, the general case (fold needed) and
+	// the paper's 48; sizes cover segments smaller than the participant
+	// count (empty exchanges) and multi-chunk messages.
+	for _, n := range []int{2, 3, 4, 5, 7, 8, 12, 48} {
+		for _, lines := range []int{1, 2, 5, 16, 33} {
+			nbytes := lines * scc.CacheLine
+			scratch := 1 << 16
+
+			run := func(rab bool) ([][]byte, [][]byte) {
+				chip := rma.NewChipN(scc.DefaultConfig(), n)
+				in := make([][]byte, n)
+				for i := 0; i < n; i++ {
+					in[i] = make([]byte, nbytes)
+					for j := range in[i] {
+						in[i][j] = byte(i*37 + j*11 + 3)
+					}
+					chip.Private(i).Write(0, in[i])
+				}
+				chip.Run(func(c *rma.Core) {
+					comm := NewComm(rcce.NewPort(c))
+					if rab {
+						comm.AllReduceRabenseifner(0, scratch, lines, SumInt64)
+					} else {
+						comm.AllReduce(0, scratch, lines, SumInt64)
+					}
+				})
+				out := make([][]byte, n)
+				for i := 0; i < n; i++ {
+					out[i] = make([]byte, nbytes)
+					chip.Private(i).Read(out[i], 0, nbytes)
+				}
+				return in, out
+			}
+
+			_, want := run(false)
+			_, got := run(true)
+			for i := 0; i < n; i++ {
+				if !bytes.Equal(got[i], want[i]) {
+					t.Fatalf("n=%d lines=%d: core %d rabenseifner != binomial allreduce", n, lines, i)
+				}
+			}
+		}
+	}
+}
+
+func TestAllReduceRabenseifnerPanics(t *testing.T) {
+	chip := rma.NewChipN(scc.DefaultConfig(), 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("misaligned scratch did not panic")
+		}
+	}()
+	chip.Run(func(c *rma.Core) {
+		comm := NewComm(rcce.NewPort(c))
+		comm.AllReduceRabenseifner(0, 7, 1, SumInt64)
+	})
+}

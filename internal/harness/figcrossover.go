@@ -1,0 +1,242 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/algsel"
+	"repro/internal/collective"
+	occore "repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/rcce"
+	"repro/internal/rma"
+	"repro/internal/scc"
+	"repro/internal/sim"
+)
+
+// fig-crossover validates the algorithm registry's model-driven
+// auto-selection against ground truth: for every (mesh, operation,
+// message size) cell it simulates each modeled algorithm at its tuned
+// (K, chunk), asks the plan what "auto" would pick, and reports the
+// regret — how much slower auto's pick is than the per-cell best. The
+// acceptance target is ≤ 5% regret everywhere: near a crossover the
+// contenders are close by definition, so the model only has to rank
+// correctly where the gap is wide.
+
+// MeasureAlg runs `reps` barrier-separated repetitions of one registered
+// algorithm (at one tunable choice) on n cores and returns per-repetition
+// latencies in microseconds, §6.1-style: each repetition works on a fresh
+// payload region, and latency runs from the first core's call to the
+// last core's return.
+func MeasureAlg(cfg scc.Config, a *algsel.Algorithm, ch algsel.Choice, n, lines, reps int) []float64 {
+	if reps <= 0 {
+		reps = 3
+	}
+	chip := rma.NewChipN(cfg, n)
+
+	// A repetition region holds the op's full working set: n blocks for
+	// the rooted/allgather layouts plus one block of slack.
+	msgBytes := lines * scc.CacheLine
+	regionBytes := (n + 1) * msgBytes
+	for c := 0; c < n; c++ {
+		payload := make([]byte, reps*regionBytes)
+		for i := range payload {
+			payload[i] = byte(i*7 + c*13 + 5)
+		}
+		chip.Private(c).Write(0, payload)
+	}
+	scratchBase := reps * regionBytes
+
+	starts := make([][]sim.Time, reps)
+	returns := make([][]sim.Time, reps)
+	for it := range returns {
+		starts[it] = make([]sim.Time, n)
+		returns[it] = make([]sim.Time, n)
+	}
+
+	base := occore.DefaultConfig()
+	chip.Run(func(c *rma.Core) {
+		port := rcce.NewPort(c)
+		e := algsel.NewEnv(c, port, base, nil, nil)
+		for it := 0; it < reps; it++ {
+			port.Barrier()
+			starts[it][c.ID()] = c.Now()
+			a.Run(e, ch, algsel.Args{
+				Root:    0,
+				Addr:    it * regionBytes,
+				Scratch: scratchBase,
+				Lines:   lines,
+				Reduce:  collective.SumInt64,
+			})
+			returns[it][c.ID()] = c.Now()
+		}
+	})
+
+	out := make([]float64, reps)
+	for it := 0; it < reps; it++ {
+		first, last := starts[it][0], returns[it][0]
+		for id := 1; id < n; id++ {
+			if starts[it][id] < first {
+				first = starts[it][id]
+			}
+			if returns[it][id] > last {
+				last = returns[it][id]
+			}
+		}
+		out[it] = (last - first).Microseconds()
+	}
+	return out
+}
+
+// AlgLatency is one algorithm's showing in a crossover cell.
+type AlgLatency struct {
+	Choice  algsel.Choice
+	SimUs   float64
+	ModelUs float64
+}
+
+// CrossoverPoint is one cell of the crossover sweep.
+type CrossoverPoint struct {
+	Topo  scc.Topology
+	Op    algsel.Op
+	Lines int
+	// Algs holds every modeled algorithm's simulated latency at its
+	// tuned choice, in registry (name) order.
+	Algs []AlgLatency
+	// Auto is the plan's pick; AutoUs its simulated latency; BestUs the
+	// cell's minimum; RegretPct = 100·(AutoUs/BestUs − 1).
+	Auto      algsel.Choice
+	AutoUs    float64
+	Best      algsel.Choice
+	BestUs    float64
+	RegretPct float64
+}
+
+// CrossoverOps are the operations the sweep covers: the ones with at
+// least two modeled algorithms, so auto-selection has a real decision.
+func CrossoverOps() []algsel.Op {
+	return []algsel.Op{algsel.OpBcast, algsel.OpAllReduce, algsel.OpAllGather}
+}
+
+// CrossoverMeshes and CrossoverSizes bound the sweep by effort: the
+// quick tier keeps CI smoke cheap, the full tier is the 48–384-core
+// sweep recorded in BENCH_simperf.json.
+func CrossoverMeshes(effort int) []scc.Topology {
+	meshes := ScaleMeshes()
+	if effort <= 1 {
+		return meshes[:2]
+	}
+	return meshes
+}
+
+// CrossoverSizes lists the swept message sizes in cache lines.
+func CrossoverSizes(effort int) []int {
+	if effort <= 1 {
+		return []int{1, 16, 96}
+	}
+	return []int{1, 4, 16, 64, 256}
+}
+
+// CrossoverSweep simulates every (mesh, op, size) cell; cells are
+// sharded across ParallelMap workers and, like every harness sweep, the
+// simulated values are independent of the sharding.
+func CrossoverSweep(cfg scc.Config, effort int) []CrossoverPoint {
+	type cell struct {
+		topo  scc.Topology
+		op    algsel.Op
+		lines int
+	}
+	var cells []cell
+	for _, topo := range CrossoverMeshes(effort) {
+		for _, op := range CrossoverOps() {
+			for _, lines := range CrossoverSizes(effort) {
+				cells = append(cells, cell{topo, op, lines})
+			}
+		}
+	}
+	base := occore.DefaultConfig()
+	mdl := model.New(cfg.Params)
+	reps := 1
+	if effort > 1 {
+		reps = 2
+	}
+	return ParallelMap(len(cells), func(i int) CrossoverPoint {
+		c := cells[i]
+		cfg2 := cfg
+		cfg2.Topo = c.topo
+		p := c.topo.NumCores()
+		plan := algsel.Tune(cfg.Params, c.topo, p, base)
+		pt := CrossoverPoint{Topo: c.topo, Op: c.op, Lines: c.lines}
+		auto, ok := plan.Choose(c.op, c.lines)
+		if !ok {
+			// CrossoverOps only lists operations with modeled algorithms,
+			// so a missing decision table is a wiring bug, not data.
+			panic(fmt.Sprintf("harness: no decision table for swept op %s", c.op))
+		}
+		pt.Auto = auto
+		for _, a := range algsel.For(c.op) {
+			ch, ok := algsel.BestChoiceFor(mdl, c.topo, p, base, a, c.lines)
+			if !ok {
+				continue
+			}
+			al := AlgLatency{
+				Choice:  ch,
+				SimUs:   mean(MeasureAlg(cfg2, a, ch, p, c.lines, reps)),
+				ModelUs: a.Model(mdl, c.topo, p, c.lines, ch).Microseconds(),
+			}
+			pt.Algs = append(pt.Algs, al)
+			if pt.BestUs == 0 || al.SimUs < pt.BestUs {
+				pt.Best, pt.BestUs = al.Choice, al.SimUs
+			}
+			if al.Choice == pt.Auto {
+				pt.AutoUs = al.SimUs
+			}
+		}
+		if pt.AutoUs == 0 {
+			// The plan's band stores the winner at band granularity, so
+			// its (K, chunk) can differ from the per-algorithm best at
+			// this exact size. Simulate the auto pick itself — regret
+			// must price what auto would actually run, never default to
+			// a silently passing zero.
+			a, found := algsel.Lookup(c.op, pt.Auto.Alg)
+			if !found {
+				panic(fmt.Sprintf("harness: plan picked unregistered algorithm %q for %s", pt.Auto.Alg, c.op))
+			}
+			pt.AutoUs = mean(MeasureAlg(cfg2, a, pt.Auto, p, c.lines, reps))
+		}
+		pt.RegretPct = 100 * (pt.AutoUs/pt.BestUs - 1)
+		return pt
+	})
+}
+
+// FigCrossover renders the crossover sweep: per cell, every algorithm's
+// simulated latency, the auto pick and its regret vs the per-cell best.
+func FigCrossover(cfg scc.Config, effort int) *Table {
+	if effort < 1 {
+		effort = 1
+	}
+	return CrossoverTable(CrossoverSweep(cfg, effort))
+}
+
+// CrossoverTable renders already-computed crossover points (shared by
+// the fig-crossover experiment and the ocbench tune subcommand).
+func CrossoverTable(pts []CrossoverPoint) *Table {
+	tbl := &Table{
+		Title:   "fig-crossover — auto-selection vs best algorithm per (mesh, op, size)",
+		Columns: []string{"mesh", "cores", "op", "CL", "auto pick", "auto µs", "best", "best µs", "regret%"},
+		Notes: []string{
+			"Every modeled algorithm simulated at its tuned (K, chunk); 'auto' is the",
+			"decision-table pick (Options.Algorithm: \"auto\"), 'best' the cell's fastest.",
+			"Acceptance: regret <= 5% everywhere (ocbench tune enforces it).",
+		},
+	}
+	for _, p := range pts {
+		tbl.AddRow(
+			fmt.Sprintf("%dx%d", p.Topo.W, p.Topo.H), fmt.Sprint(p.Topo.NumCores()),
+			string(p.Op), fmt.Sprint(p.Lines),
+			p.Auto.String(), fmt.Sprintf("%.2f", p.AutoUs),
+			p.Best.String(), fmt.Sprintf("%.2f", p.BestUs),
+			fmt.Sprintf("%+.2f", p.RegretPct),
+		)
+	}
+	return tbl
+}

@@ -207,8 +207,8 @@ func TestHeadline(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	reg := Registry()
-	if len(reg) != 13 {
-		t.Fatalf("registry has %d experiments, want 13", len(reg))
+	if len(reg) != 14 {
+		t.Fatalf("registry has %d experiments, want 14", len(reg))
 	}
 	if _, err := Lookup("fig8a"); err != nil {
 		t.Fatal(err)

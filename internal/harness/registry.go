@@ -77,6 +77,12 @@ func Registry() []Experiment {
 			},
 		},
 		{
+			Name: "fig-crossover", Desc: "auto-selected algorithm vs best per (mesh, op, size) — regret",
+			Run: func(cfg scc.Config, effort int) ([]*Table, error) {
+				return []*Table{FigCrossover(cfg, effort)}, nil
+			},
+		},
+		{
 			Name: "fig-scale", Desc: "model vs simulation across mesh sizes 48-384 cores",
 			Run: func(cfg scc.Config, effort int) ([]*Table, error) {
 				return []*Table{FigScale(cfg, effort)}, nil

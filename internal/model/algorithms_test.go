@@ -1,0 +1,121 @@
+package model
+
+import (
+	"testing"
+
+	"repro/internal/scc"
+)
+
+func TestPof2Below(t *testing.T) {
+	cases := []struct{ p, pof2, log2 int }{
+		{1, 1, 0}, {2, 2, 1}, {3, 2, 1}, {4, 4, 2}, {5, 4, 2},
+		{7, 4, 2}, {8, 8, 3}, {48, 32, 5}, {64, 64, 6}, {384, 256, 8},
+	}
+	for _, c := range cases {
+		pof2, log2 := pof2Below(c.p)
+		if pof2 != c.pof2 || log2 != c.log2 {
+			t.Errorf("pof2Below(%d) = (%d,%d), want (%d,%d)", c.p, pof2, log2, c.pof2, c.log2)
+		}
+	}
+}
+
+// TestAlgorithmLatenciesDegenerate pins the conventions every latency
+// formula shares: zero for the 1-core chip and non-positive sizes,
+// positive otherwise.
+func TestAlgorithmLatenciesDegenerate(t *testing.T) {
+	m := New(scc.Table1())
+	bp := DefaultBcastParams()
+	forms := map[string]func(BcastParams, int) interface{ Microseconds() float64 }{
+		"binomial-reduce": func(b BcastParams, n int) interface{ Microseconds() float64 } { return m.BinomialReduceLatency(b, n) },
+		"twosided-allreduce": func(b BcastParams, n int) interface{ Microseconds() float64 } {
+			return m.TwoSidedAllReduceLatency(b, n)
+		},
+		"hybrid-allreduce": func(b BcastParams, n int) interface{ Microseconds() float64 } {
+			return m.HybridAllReduceLatency(b, b, n, 7)
+		},
+		"rabenseifner": func(b BcastParams, n int) interface{ Microseconds() float64 } { return m.RabenseifnerLatency(b, n) },
+		"ring-allgather": func(b BcastParams, n int) interface{ Microseconds() float64 } {
+			return m.OCRingAllGatherLatency(b, n)
+		},
+		"tree-allgather": func(b BcastParams, n int) interface{ Microseconds() float64 } {
+			return m.OCTreeAllGatherLatency(b, n, 7)
+		},
+		"twosided-ring-allgather": func(b BcastParams, n int) interface{ Microseconds() float64 } {
+			return m.TwoSidedRingAllGatherLatency(b, n)
+		},
+	}
+	for name, f := range forms {
+		one := bp
+		one.P = 1
+		if got := f(one, 96); got.Microseconds() != 0 {
+			t.Errorf("%s: P=1 latency %v, want 0", name, got)
+		}
+		if got := f(bp, 0); got.Microseconds() != 0 {
+			t.Errorf("%s: n=0 latency %v, want 0", name, got)
+		}
+		if got := f(bp, 96); got.Microseconds() <= 0 {
+			t.Errorf("%s: latency %v, want > 0", name, got)
+		}
+		// Monotone in message size.
+		if f(bp, 192).Microseconds() <= f(bp, 96).Microseconds() {
+			t.Errorf("%s: latency not monotone in n", name)
+		}
+	}
+}
+
+// TestRabenseifnerBeatsTreesAtLargeSizes pins the asymptotic story the
+// registry's tuner relies on: reduce-scatter+allgather moves ~2n lines
+// where the binomial composition moves ~2n·log2 P, so it must win for
+// pipeline-filling messages and lose at 1 line (handshake- and
+// barrier-dominated).
+func TestRabenseifnerBeatsTreesAtLargeSizes(t *testing.T) {
+	m := New(scc.Table1())
+	bp := DefaultBcastParams()
+	bp.DMpb = 5
+	bp.DMem = 2
+	if m.RabenseifnerLatency(bp, 1024) >= m.TwoSidedAllReduceLatency(bp, 1024) {
+		t.Error("rabenseifner not faster than binomial reduce+bcast at 1024 lines")
+	}
+	if m.RabenseifnerLatency(bp, 1) <= m.HybridAllReduceLatency(bp, bp, 1, 7) {
+		t.Error("rabenseifner unexpectedly faster than hybrid at 1 line")
+	}
+}
+
+// TestRingVsTreeAllGatherScaling pins the allgather ranking the
+// simulator shows: the tree's root serially drains all P−1 blocks and
+// then rebroadcasts P·n lines, so it is O(P) with a larger constant than
+// the ring's one-put-one-get steps — the ring must come out ahead at
+// both chip scales and both block sizes (verified against simulation at
+// 48 and 384 cores in the fig-crossover sweep).
+func TestRingVsTreeAllGatherScaling(t *testing.T) {
+	m := New(scc.Table1())
+	for _, topo := range []scc.Topology{scc.SCC(), scc.Mesh(16, 12)} {
+		p := topo.NumCores()
+		ring := RingParamsFor(topo, p)
+		tree := BcastParamsFor(topo, p, 7)
+		for _, n := range []int{1, 256} {
+			if m.OCRingAllGatherLatency(ring, n) >= m.OCTreeAllGatherLatency(tree, n, 7) {
+				t.Errorf("%v, %d-line blocks: ring should beat the tree", topo, n)
+			}
+		}
+	}
+}
+
+func TestRingParamsFor(t *testing.T) {
+	topo := scc.SCC()
+	bp := RingParamsFor(topo, 48)
+	if bp.P != 48 {
+		t.Fatalf("P = %d, want 48", bp.P)
+	}
+	if bp.DMpb < 1 || bp.DMpb > 4 {
+		t.Errorf("ring-neighbour distance %d implausible for the 6x4 mesh", bp.DMpb)
+	}
+	if d := MeanRingDistance(topo, 1); d != 1 {
+		t.Errorf("MeanRingDistance(p=1) = %v, want 1", d)
+	}
+	// Id-adjacent cores share a tile every other step, so the mean ring
+	// distance must be below the mean tree distance at k=7.
+	if MeanRingDistance(topo, 48) >= MeanTreeDistance(topo, 48, 7) {
+		t.Error("ring distance not below k=7 tree distance on the SCC")
+	}
+}

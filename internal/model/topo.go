@@ -67,6 +67,31 @@ func BcastParamsFor(t scc.Topology, p, k int) BcastParams {
 	return bp
 }
 
+// MeanRingDistance is the mean router hop distance between id-adjacent
+// cores (i, i+1 mod p) — the DMpb the ring algorithms (one- and
+// two-sided allgather) actually see on topology t.
+func MeanRingDistance(t scc.Topology, p int) float64 {
+	if p <= 1 {
+		return 1
+	}
+	sum := 0
+	for i := 0; i < p; i++ {
+		sum += t.CoreDistance(i, (i+1)%p)
+	}
+	return float64(sum) / float64(p)
+}
+
+// RingParamsFor derives model parameters for the ring algorithms on the
+// first p cores of topology t: like BcastParamsFor, but with DMpb set to
+// the mean ring-neighbour distance instead of the tree distance.
+func RingParamsFor(t scc.Topology, p int) BcastParams {
+	bp := DefaultBcastParams()
+	bp.P = p
+	bp.DMpb = roundDist(MeanRingDistance(t, p))
+	bp.DMem = roundDist(MeanMemDistance(t, p))
+	return bp
+}
+
 // ReduceParamsFor derives reduction model parameters for the first p
 // cores of topology t with fan-out k. The reduction pipeline runs over
 // the same k-ary tree as the broadcast, so the distances are the same;

@@ -14,24 +14,81 @@ import (
 )
 
 // Mesh tracks per-link FIFO occupancy for every directed link of a w×h
-// tile grid.
+// tile grid. Links live in a preallocated slice indexed by a dense link
+// id (tile × direction) rather than a map: Traverse reserves every link
+// of every path in detailed-NoC mode, so the lookup is hot, and an array
+// index costs no hashing and no per-key allocation. Resources are still
+// created lazily on first use, which keeps the analytic mode (which
+// never traverses) allocation-free and the link creation order — and
+// therefore determinism — identical to the map version.
 type Mesh struct {
 	topo    scc.Topology
 	linkSvc sim.Duration
-	links   map[scc.Link]*sim.Resource
+	links   []*sim.Resource
 }
+
+// Directed link directions for the dense link id: east, west, north,
+// south of the link's source tile.
+const (
+	dirEast = iota
+	dirWest
+	dirNorth
+	dirSouth
+	numDirs
+)
 
 // NewMesh creates a mesh over the given topology whose links serve one
 // 32 B packet per linkSvc.
 func NewMesh(topo scc.Topology, linkSvc sim.Duration) *Mesh {
-	return &Mesh{topo: topo, linkSvc: linkSvc, links: make(map[scc.Link]*sim.Resource)}
+	return &Mesh{
+		topo:    topo,
+		linkSvc: linkSvc,
+		links:   make([]*sim.Resource, topo.NumTiles()*numDirs),
+	}
+}
+
+// linkIndex maps a directed link between adjacent routers to its dense
+// id: the source tile's id times the direction count plus the direction.
+// Every XYPath link is adjacent by construction, so the mapping is total
+// and injective over the links Traverse can visit.
+func (m *Mesh) linkIndex(l scc.Link) int {
+	dir := dirEast
+	switch {
+	case l.To.X == l.From.X+1:
+		dir = dirEast
+	case l.To.X == l.From.X-1:
+		dir = dirWest
+	case l.To.Y == l.From.Y+1:
+		dir = dirNorth
+	default:
+		dir = dirSouth
+	}
+	return m.topo.TileID(l.From)*numDirs + dir
+}
+
+// linkAt reconstructs the directed link a dense id denotes.
+func (m *Mesh) linkAt(idx int) scc.Link {
+	from := m.topo.TileCoord(idx / numDirs)
+	to := from
+	switch idx % numDirs {
+	case dirEast:
+		to.X++
+	case dirWest:
+		to.X--
+	case dirNorth:
+		to.Y++
+	case dirSouth:
+		to.Y--
+	}
+	return scc.Link{From: from, To: to}
 }
 
 func (m *Mesh) link(l scc.Link) *sim.Resource {
-	r := m.links[l]
+	idx := m.linkIndex(l)
+	r := m.links[idx]
 	if r == nil {
 		r = sim.NewResource(l.String(), m.linkSvc)
-		m.links[l] = r
+		m.links[idx] = r
 	}
 	return r
 }
@@ -70,10 +127,13 @@ func (m *Mesh) Traverse(t sim.Time, src, dst scc.Coord, npackets int) sim.Time {
 // is not a source of contention" claim.
 func (m *Mesh) LinkQueueStats() []LinkStat {
 	var out []LinkStat
-	for l, r := range m.links {
+	for idx, r := range m.links {
+		if r == nil {
+			continue
+		}
 		res, units, busy, queued := r.Stats()
 		out = append(out, LinkStat{
-			Link:         l,
+			Link:         m.linkAt(idx),
 			Reservations: res,
 			Packets:      units,
 			Busy:         busy,
@@ -96,6 +156,8 @@ type LinkStat struct {
 // Reset clears all link schedules and statistics.
 func (m *Mesh) Reset() {
 	for _, r := range m.links {
-		r.Reset()
+		if r != nil {
+			r.Reset()
+		}
 	}
 }

@@ -60,3 +60,57 @@ func TestDisjointPathsDoNotInterfere(t *testing.T) {
 		t.Fatalf("disjoint transfers differ: %v vs %v", a, b)
 	}
 }
+
+// TestLinkIndexDense pins the slice-backed link table: every link of
+// every X-Y path maps to a distinct in-range dense id, the id round
+// trips back to the same link, and stats still report the links that
+// were actually used.
+func TestLinkIndexDense(t *testing.T) {
+	for _, topo := range []scc.Topology{scc.SCC(), scc.Mesh(3, 5), scc.Mesh(16, 12)} {
+		m := NewMesh(topo, 2*sim.Nanosecond)
+		seen := map[int]scc.Link{}
+		for src := 0; src < topo.NumTiles(); src += 3 {
+			for dst := 0; dst < topo.NumTiles(); dst += 5 {
+				for _, l := range topo.XYPath(topo.TileCoord(src), topo.TileCoord(dst)) {
+					idx := m.linkIndex(l)
+					if idx < 0 || idx >= len(m.links) {
+						t.Fatalf("%v: link %v index %d out of range [0,%d)", topo, l, idx, len(m.links))
+					}
+					if prev, ok := seen[idx]; ok && prev != l {
+						t.Fatalf("%v: links %v and %v collide on index %d", topo, prev, l, idx)
+					}
+					seen[idx] = l
+					if back := m.linkAt(idx); back != l {
+						t.Fatalf("%v: linkAt(%d) = %v, want %v", topo, idx, back, l)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTraverseDeterministicAcrossBackends pins the Traverse schedule to
+// the values the map-backed mesh produced: a fixed route sequence must
+// yield the exact same finish times (the link-id refactor is a pure
+// lookup optimization).
+func TestTraverseDeterministicAcrossBackends(t *testing.T) {
+	run := func() []sim.Time {
+		m := NewMesh(scc.SCC(), 2*sim.Nanosecond)
+		var out []sim.Time
+		for i := 0; i < 20; i++ {
+			src := scc.TileCoord((i * 7) % scc.NumTiles)
+			dst := scc.TileCoord((i*11 + 3) % scc.NumTiles)
+			if src == dst {
+				continue
+			}
+			out = append(out, m.Traverse(sim.Time(i), src, dst, 1+i%4))
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run-to-run mismatch at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

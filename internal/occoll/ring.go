@@ -1,0 +1,82 @@
+package occoll
+
+import (
+	"repro/internal/core"
+	"repro/internal/scc"
+)
+
+// AllGatherRing exchanges every core's `lines`-line block so all cores
+// hold all P blocks id-ordered at addr — like AllGather, but with a
+// one-sided *ring* instead of the gather+broadcast tree: at step t each
+// core stages the block it received at step t−1 into its own MPB and its
+// right neighbour pulls it with a one-sided get. P−1 steps move every
+// block once per hop, so the algorithm is bandwidth-optimal (each core
+// transfers (P−1)·lines once in and once out) where the tree funnels all
+// P blocks through the root; the tree wins on latency for small blocks,
+// the ring on bandwidth for large ones — the registry's tuner picks per
+// size (internal/algsel).
+func (x *Collectives) AllGatherRing(addr, lines int) {
+	x.IAllGatherRing(addr, lines).Wait()
+}
+
+// IAllGatherRing is the non-blocking AllGatherRing: it issues the ring
+// exchange and returns a Request to Test or Wait on while the core
+// computes.
+func (x *Collectives) IAllGatherRing(addr, lines int) *Request {
+	return x.issue("IAllGatherRing", 0, addr, lines, func(l *lane, t core.Tree) {
+		l.ringAllGather(addr, lines)
+	})
+}
+
+// ringAllGather runs the ring pipeline on the lane. Cores form a ring in
+// id order; transfers carry a global 1-based sequence number tr shared by
+// all cores, so slot rotation and flag sequences agree everywhere without
+// negotiation. Per transfer a core
+//
+//  1. waits (slot reuse) until its right neighbour acked the transfer
+//     that previously occupied the slot (own dnDone[0] ≥ tr−nb),
+//  2. stages the outgoing chunk into the slot and bumps the right
+//     neighbour's dnNotify to tr,
+//  3. waits for its own dnNotify ≥ tr (left neighbour staged), and
+//  4. pulls the chunk from the left neighbour's identical slot straight
+//     to its final private address and acks with the left neighbour's
+//     dnDone[0].
+//
+// Staging (2) never depends on the left neighbour, so the cycle of waits
+// around the ring is broken the same way a pipelined ring of sendrecvs
+// is: every core posts its "send" before blocking on its "receive".
+func (l *lane) ringAllGather(addr, lines int) {
+	x := l.x
+	c, cfg := x.core, x.cfg
+	p := c.N()
+	me := c.ID()
+	left, right := (me-1+p)%p, (me+1)%p
+	nb := x.numBuffers()
+	nchunks := x.nchunks(lines)
+	blockBytes := lines * scc.CacheLine
+
+	var tr uint64
+	for t := 0; t < p-1; t++ {
+		sendBlock := ((me-t)%p + p) % p
+		recvBlock := ((me-1-t)%p + p) % p
+		for chk := 0; chk < nchunks; chk++ {
+			m := x.chunkSpan(chk, lines)
+			off := chk * cfg.BufLines * scc.CacheLine
+			slot := l.slotLine(int(tr) % nb)
+			tr++
+			if tr > uint64(nb) {
+				l.wait(l.dnDoneLine(0), tr-uint64(nb))
+			}
+			c.PutMemToMPB(me, slot, addr+sendBlock*blockBytes+off, m)
+			c.SetFlag(right, l.dnNotifyLine(), tr)
+			l.wait(l.dnNotifyLine(), tr)
+			c.GetMPBToMem(left, slot, addr+recvBlock*blockBytes+off, m)
+			c.SetFlag(left, l.dnDoneLine(0), tr)
+		}
+	}
+	// Drain: the right neighbour must have consumed my last staged chunks
+	// before the lane is handed to the next collective.
+	if tr > 0 {
+		l.wait(l.dnDoneLine(0), tr)
+	}
+}

@@ -1,0 +1,113 @@
+package occoll
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/rcce"
+	"repro/internal/rma"
+	"repro/internal/scc"
+)
+
+func TestAllGatherRingMatchesReference(t *testing.T) {
+	for _, db := range []bool{true, false} {
+		for _, n := range []int{2, 3, 5, 16, 48} {
+			for _, lines := range []int{1, 4, 11} { // 11 lines = 3 chunks of 4+4+3
+				cfg := Config{K: 3, BufLines: 4, DoubleBuffer: db}
+				nbytes := lines * scc.CacheLine
+				chip := rma.NewChipN(scc.DefaultConfig(), n)
+				payloads := make([][]byte, n)
+				for i := 0; i < n; i++ {
+					payloads[i] = make([]byte, nbytes)
+					for j := range payloads[i] {
+						payloads[i][j] = byte(i*31 + j*7 + 1)
+					}
+					chip.Private(i).Write(i*nbytes, payloads[i])
+				}
+				chip.Run(func(c *rma.Core) {
+					x := New(c, rcce.NewPort(c), cfg)
+					x.AllGatherRing(0, lines)
+				})
+				for i := 0; i < n; i++ {
+					for b := 0; b < n; b++ {
+						got := make([]byte, nbytes)
+						chip.Private(i).Read(got, b*nbytes, nbytes)
+						if !bytes.Equal(got, payloads[b]) {
+							t.Fatalf("db=%v n=%d lines=%d: core %d block %d mismatch", db, n, lines, i, b)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAllGatherRingNonBlocking drives the ring through the progress
+// engine: issue, poll with Test between compute slices, and verify the
+// result matches the blocking twin's.
+func TestAllGatherRingNonBlocking(t *testing.T) {
+	const n, lines = 8, 5
+	cfg := Config{K: 2, BufLines: 2, DoubleBuffer: true}
+	nbytes := lines * scc.CacheLine
+	chip := rma.NewChipN(scc.DefaultConfig(), n)
+	for i := 0; i < n; i++ {
+		b := make([]byte, nbytes)
+		for j := range b {
+			b[j] = byte(i*13 + j*3 + 2)
+		}
+		chip.Private(i).Write(i*nbytes, b)
+	}
+	chip.Run(func(c *rma.Core) {
+		x := New(c, rcce.NewPort(c), cfg)
+		r := x.IAllGatherRing(0, lines)
+		for !r.Test() {
+			c.Compute(100) // advance virtual time so peer flags land
+		}
+		x.Finish()
+	})
+	for i := 0; i < n; i++ {
+		for b := 0; b < n; b++ {
+			got := make([]byte, nbytes)
+			chip.Private(i).Read(got, b*nbytes, nbytes)
+			want := byte(b*13 + 2)
+			if got[0] != want {
+				t.Fatalf("core %d block %d: first byte %d, want %d", i, b, got[0], want)
+			}
+		}
+	}
+}
+
+// TestAllGatherRingAgreesWithTree pins the two allgather algorithms to
+// identical results (the registry's contract: algorithms are
+// interchangeable implementations of one operation).
+func TestAllGatherRingAgreesWithTree(t *testing.T) {
+	const n, lines = 12, 7
+	cfg := Config{K: 7, BufLines: 96, DoubleBuffer: true}
+	nbytes := lines * scc.CacheLine
+
+	results := make([][]byte, 2)
+	for v, ring := range []bool{false, true} {
+		chip := rma.NewChipN(scc.DefaultConfig(), n)
+		for i := 0; i < n; i++ {
+			b := make([]byte, nbytes)
+			for j := range b {
+				b[j] = byte(i*91 + j + 5)
+			}
+			chip.Private(i).Write(i*nbytes, b)
+		}
+		chip.Run(func(c *rma.Core) {
+			x := New(c, rcce.NewPort(c), cfg)
+			if ring {
+				x.AllGatherRing(0, lines)
+			} else {
+				x.AllGather(0, lines)
+			}
+		})
+		all := make([]byte, n*nbytes)
+		chip.Private(0).Read(all, 0, n*nbytes)
+		results[v] = all
+	}
+	if !bytes.Equal(results[0], results[1]) {
+		t.Fatal("tree and ring allgather disagree")
+	}
+}

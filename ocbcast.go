@@ -34,6 +34,7 @@ package ocbcast
 import (
 	"fmt"
 
+	"repro/internal/algsel"
 	"repro/internal/collective"
 	occore "repro/internal/core"
 	"repro/internal/model"
@@ -76,6 +77,13 @@ type Options struct {
 	// numBuffers·ChunkLines + 2K+2 MPB lines, so more than one channel
 	// usually requires a smaller ChunkLines than the paper's 96.
 	Channels int
+	// Algorithm selects how the collective methods resolve their
+	// implementation through the algorithm registry: "" (default) runs
+	// each method's paper-faithful stack, "auto" consults the
+	// model-driven decision table (see System.Tune), and a registered
+	// name (e.g. "rabenseifner", "ring", "twosided") forces that
+	// algorithm wherever the operation registers it. See autotune.go.
+	Algorithm string
 	// DisableDoubleBuffer turns off the §4.2 double buffering.
 	DisableDoubleBuffer bool
 	// DisableContention turns off the MPB-port contention model,
@@ -91,6 +99,8 @@ type Options struct {
 type System struct {
 	chip  *rma.Chip
 	occfg occore.Config
+	alg   string
+	plan  *algsel.Plan
 }
 
 // New builds a simulated chip. It panics on invalid options (consistent
@@ -135,7 +145,14 @@ func New(opts Options) *System {
 	if err := occfg.Validate(); err != nil {
 		panic(err)
 	}
-	return &System{chip: rma.NewChipN(cfg, n), occfg: occfg}
+	if opts.Algorithm != "" && opts.Algorithm != "auto" && !algsel.Known(opts.Algorithm) {
+		panic(fmt.Sprintf("ocbcast: unknown algorithm %q (use \"auto\" or a registered name)", opts.Algorithm))
+	}
+	s := &System{chip: rma.NewChipN(cfg, n), occfg: occfg, alg: opts.Algorithm}
+	if s.alg == "auto" {
+		s.Tune() // materialize the decision table the cores will consult
+	}
+	return s
 }
 
 // N reports the number of simulated cores.
@@ -173,15 +190,21 @@ func (s *System) Run(body func(c *Core)) {
 	s.chip.Run(func(rc *rma.Core) {
 		port := rcce.NewPort(rc)
 		c := &Core{
-			rma:    rc,
-			port:   port,
-			comm:   collective.NewComm(port),
-			bc:     occore.NewBroadcaster(rc, s.occfg),
-			colErr: colErr,
+			rma:     rc,
+			port:    port,
+			comm:    collective.NewComm(port),
+			bc:      occore.NewBroadcaster(rc, s.occfg),
+			colErr:  colErr,
+			algName: s.alg,
+			plan:    s.plan,
 		}
 		if colErr == nil {
 			c.col = occoll.New(rc, port, s.occfg)
 		}
+		// The registry environment shares the core's engine and
+		// broadcaster, so registry-routed calls are byte-identical to
+		// the fixed stacks under the default options.
+		c.env = algsel.NewEnv(rc, port, s.occfg, c.col, c.bc)
 		body(c)
 		if c.col != nil {
 			// Leaked non-blocking requests panic descriptively here
@@ -193,12 +216,15 @@ func (s *System) Run(body func(c *Core)) {
 
 // Core is the per-core handle available inside Run.
 type Core struct {
-	rma    *rma.Core
-	port   *rcce.Port
-	comm   *collective.Comm
-	bc     *occore.Broadcaster
-	col    *occoll.Collectives
-	colErr error
+	rma     *rma.Core
+	port    *rcce.Port
+	comm    *collective.Comm
+	bc      *occore.Broadcaster
+	col     *occoll.Collectives
+	colErr  error
+	env     *algsel.Env
+	algName string
+	plan    *algsel.Plan
 }
 
 // occ returns the one-sided collective state, panicking with the layout
@@ -229,8 +255,12 @@ func (c *Core) Compute(us float64) { c.rma.Compute(sim.Micros(us)) }
 
 // Broadcast runs OC-Bcast: `lines` cache lines from root's private memory
 // at byte address addr to the same address on every core. All cores must
-// call it with matching arguments.
-func (c *Core) Broadcast(root, addr, lines int) { c.bc.Bcast(root, addr, lines) }
+// call it with matching arguments. Under Options.Algorithm "auto" (or a
+// named override) the registry may select a different broadcast
+// algorithm — see autotune.go.
+func (c *Core) Broadcast(root, addr, lines int) {
+	c.run(algsel.OpBcast, "ocbcast", false, algsel.Args{Root: root, Addr: addr, Lines: lines})
+}
 
 // BroadcastBinomial runs the RCCE_comm binomial-tree baseline.
 func (c *Core) BroadcastBinomial(root, addr, lines int) {

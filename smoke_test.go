@@ -22,8 +22,8 @@ func runGo(t *testing.T, args ...string) string {
 
 func TestSmokeExamples(t *testing.T) {
 	for _, example := range []string{
-		"quickstart", "collectives", "allreduce", "contention",
-		"ksweep", "mpmd-os", "spmd-stencil",
+		"quickstart", "collectives", "allreduce", "autotune",
+		"contention", "ksweep", "mpmd-os", "spmd-stencil",
 	} {
 		example := example
 		t.Run(example, func(t *testing.T) {
