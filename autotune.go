@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/algsel"
+	"repro/internal/obs"
 )
 
 // Algorithm selection. Every collective method of Core resolves its
@@ -95,9 +96,33 @@ func (c *Core) resolve(op algsel.Op, def string, lines int, oneSided bool) (*alg
 	return a, ch
 }
 
+// apiSpan opens the API-level container span for one collective call:
+// cat "api"/"api.issue", named by the op, annotated with the resolved
+// algorithm choice — so algsel decisions are visible on the timeline.
+// It claims no attribution time itself (BucketOther): the leaf rma
+// spans underneath account for where the time actually goes.
+func (c *Core) apiSpan(cat string, op algsel.Op, ch algsel.Choice, a algsel.Args) *obs.Recorder {
+	o := c.rma.Obs()
+	if o != nil {
+		o.Emit(obs.Event{
+			Kind: obs.KindBegin, Bucket: obs.BucketOther,
+			Core: int32(c.ID()), Time: int64(c.Now()),
+			Cat: cat, Name: string(op), Str: ch.String(),
+			A0: obs.Arg{Key: "lines", Val: int64(a.Lines)},
+			A1: obs.Arg{Key: "root", Val: int64(a.Root)},
+		})
+	}
+	return o
+}
+
 // run resolves and executes one blocking collective.
 func (c *Core) run(op algsel.Op, def string, oneSided bool, a algsel.Args) {
 	alg, ch := c.resolve(op, def, a.Lines, oneSided)
+	if o := c.apiSpan("api", op, ch, a); o != nil {
+		alg.Run(c.env, ch, a)
+		o.End(c.ID(), int64(c.Now()))
+		return
+	}
 	alg.Run(c.env, ch, a)
 }
 
@@ -114,6 +139,14 @@ func (c *Core) issue(op algsel.Op, def string, a algsel.Args) *Request {
 			panic(fmt.Sprintf("ocbcast: no non-blocking algorithm for %s", op))
 		}
 		ch = algsel.Choice{Alg: def}
+	}
+	if o := c.apiSpan("api.issue", op, ch, a); o != nil {
+		// The sync span covers only issue-time work (lane claim, begin
+		// barrier); the request's own occoll async span runs to protocol
+		// completion.
+		r := alg.Issue(c.env, algsel.Choice{Alg: ch.Alg}, a)
+		o.End(c.ID(), int64(c.Now()))
+		return r
 	}
 	return alg.Issue(c.env, algsel.Choice{Alg: ch.Alg}, a)
 }

@@ -12,6 +12,8 @@
 //	ocbench perf                 # wall-clock simulator throughput -> BENCH_simperf.json
 //	ocbench tune                 # decision tables + auto-selection regret -> BENCH_simperf.json
 //	ocbench -verify tune         # gate the checked-in crossover table (CI)
+//	ocbench -verify perf         # observability overhead gate vs the checked-in baseline (CI)
+//	ocbench trace -op allreduce  # run one traced collective -> Perfetto JSON + text summary
 //
 // Flags:
 //
@@ -34,7 +36,9 @@ func main() {
 	noContention := flag.Bool("no-contention", false, "disable the MPB contention model")
 	noCache := flag.Bool("no-cache", false, "disable the L1 cache model")
 	regretMax := flag.Float64("regret-max", 5, "tune: max auto-selection regret in percent before failing")
-	verify := flag.Bool("verify", false, "tune: gate the checked-in crossover table without simulating")
+	verify := flag.Bool("verify", false, "tune/perf: gate against the checked-in BENCH_simperf.json")
+	allocMax := flag.Float64("alloc-max-pct", 2, "perf -verify: max allocs-per-simulation drift in percent")
+	wallMax := flag.Float64("wall-max-pct", 50, "perf -verify: max wall-clock-per-simulation slowdown in percent")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -60,9 +64,22 @@ func main() {
 		}
 		fmt.Printf("  %-10s %s\n", "perf", "wall-clock simulator throughput -> BENCH_simperf.json")
 		fmt.Printf("  %-10s %s\n", "tune", "decision tables + auto-selection regret gate -> BENCH_simperf.json")
+		fmt.Printf("  %-10s %s\n", "trace", "run one collective with tracing on -> Perfetto JSON + summary")
 		return
 	case "perf":
-		if err := runPerf(cfg, *effort); err != nil {
+		err := error(nil)
+		if *verify {
+			err = runPerfVerify(cfg, *allocMax, *wallMax)
+		} else {
+			err = runPerf(cfg, *effort)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	case "trace":
+		if err := runTrace(args[1:], *noContention); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -3,6 +3,8 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"math"
+	"os"
 	"runtime"
 	"time"
 
@@ -195,6 +197,65 @@ func runPerf(cfg scc.Config, effort int) error {
 	for _, o := range perf.Overlap {
 		fmt.Printf("  overlap %4d CL, W=%.1fT:      %.0f µs blocking -> %.0f µs overlapped (%.2fx)\n",
 			o.Lines, o.ComputeFrac, o.BlockingUs, o.OverlapUs, o.Speedup)
+	}
+	return nil
+}
+
+// runPerfVerify is the observability overhead gate: it re-measures the
+// BenchmarkEngineThroughput workload (one 96-CL OC-Bcast k=7 on 48
+// cores, tracing disabled — the nil-sink path) and compares it against
+// the committed BENCH_simperf.json baseline. Three checks, strictest
+// first:
+//
+//   - simulated_us_bcast must match exactly (simulated time is part of
+//     the golden contract; tracing off must be byte-identical);
+//   - allocs_per_bcast must stay within allocMaxPct (allocation counts
+//     are deterministic, so this is the machine-independent proxy for
+//     hot-path overhead; the 2% default is the PR-2 discipline);
+//   - bcast_ms_per_sim must stay within wallMaxPct (wall clock varies
+//     across machines, so this looser gate only catches gross
+//     regressions).
+func runPerfVerify(cfg scc.Config, allocMaxPct, wallMaxPct float64) error {
+	raw, err := os.ReadFile(perfFile)
+	if err != nil {
+		return fmt.Errorf("perf -verify: %w (run `ocbench perf` first)", err)
+	}
+	var base simPerf
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("perf -verify: %s: %w", perfFile, err)
+	}
+	if base.BcastMsPerSim == 0 || base.AllocsPerBcast == 0 {
+		return fmt.Errorf("perf -verify: %s has no bcast baseline (run `ocbench perf`)", perfFile)
+	}
+
+	bcast := func() float64 {
+		return harness.MeanLatency(cfg, harness.Alg{Name: "oc", K: 7}, scc.NumCores, 96, 1)
+	}
+	simUs := bcast() // warm-up + determinism check
+	if simUs != base.SimulatedUsBcast {
+		return fmt.Errorf("perf -verify: simulated time drifted: %v µs, baseline %v µs",
+			simUs, base.SimulatedUsBcast)
+	}
+	allocs := allocsPerRun(5, bcast)
+	iters := 20
+	t0 := time.Now()
+	for i := 0; i < iters; i++ {
+		bcast()
+	}
+	msPerSim := time.Since(t0).Seconds() * 1e3 / float64(iters)
+
+	allocPct := 100 * (allocs - base.AllocsPerBcast) / base.AllocsPerBcast
+	wallPct := 100 * (msPerSim - base.BcastMsPerSim) / base.BcastMsPerSim
+	fmt.Printf("perf -verify: %.0f allocs/sim (baseline %.1f, %+.2f%%, gate ±%.0f%%), %.2f ms/sim (baseline %.2f, %+.1f%%, gate +%.0f%%)\n",
+		allocs, base.AllocsPerBcast, allocPct, allocMaxPct,
+		msPerSim, base.BcastMsPerSim, wallPct, wallMaxPct)
+	if math.Abs(allocPct) > allocMaxPct {
+		return fmt.Errorf("perf -verify: allocations per simulation changed %+.2f%% (gate ±%.0f%%): the nil-sink hot path regressed",
+			allocPct, allocMaxPct)
+	}
+	if wallPct > wallMaxPct {
+		return fmt.Errorf("perf -verify: wall clock per simulation %+.1f%% over baseline (gate +%.0f%%)",
+			wallPct, wallMaxPct)
 	}
 	return nil
 }

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	ocbcast "repro"
+)
+
+// The trace subcommand runs one collective with the observability layer
+// on and writes (a) a Chrome/Perfetto trace-event JSON — load it at
+// ui.perfetto.dev or chrome://tracing — and (b) a text report to stdout:
+// the per-core time-attribution table, the top spans by cumulative
+// simulated time with latency quantiles, and resource utilization.
+
+// runTrace parses the trace subcommand's own flags and runs the traced
+// simulation. args are the arguments after "trace".
+func runTrace(args []string, noContention bool) error {
+	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+	op := fs.String("op", "bcast", "collective to trace: bcast | reduce | allreduce | scatter | gather | allgather | ibcast-overlap")
+	lines := fs.Int("lines", 256, "message size in 32-byte cache lines")
+	cores := fs.Int("cores", 0, "simulated cores (0 = all 48)")
+	algorithm := fs.String("algorithm", "", `algorithm selection: "" (paper default), "auto", or a registered name`)
+	channels := fs.Int("channels", 0, "MPB lanes for ibcast-overlap (0 = 1)")
+	out := fs.String("out", "ocbench-trace.json", "Perfetto trace-event JSON output path")
+	topN := fs.Int("top", 12, "span groups to list in the text summary")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: ocbench trace [-op bcast] [-lines 256] [-cores 0] [-algorithm auto] [-out trace.json]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opts := ocbcast.Options{
+		Cores:             *cores,
+		Algorithm:         *algorithm,
+		Channels:          *channels,
+		DisableContention: noContention,
+		Trace:             true,
+	}
+	if *op == "ibcast-overlap" && *channels > 1 {
+		// Extra lanes need a smaller chunk to fit the MPB layout.
+		opts.ChunkLines = 48
+	}
+
+	sys := ocbcast.New(opts)
+	payload := make([]byte, *lines*ocbcast.CacheLineBytes)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	sys.WritePrivate(0, 0, payload)
+
+	body, err := traceBody(*op, *lines)
+	if err != nil {
+		return err
+	}
+	sys.Run(body)
+
+	tl := sys.Timeline()
+	if err := tl.Validate(); err != nil {
+		return fmt.Errorf("trace: invalid timeline: %w", err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	if err := tl.WritePerfetto(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("trace: %s of %d cache lines on %d cores -> %s (load at ui.perfetto.dev)\n\n",
+		*op, *lines, sys.N(), *out)
+	return tl.WriteSummary(os.Stdout, *topN)
+}
+
+// traceBody returns the SPMD body for the chosen collective.
+func traceBody(op string, lines int) (func(c *ocbcast.Core), error) {
+	switch op {
+	case "bcast":
+		return func(c *ocbcast.Core) { c.Broadcast(0, 0, lines) }, nil
+	case "reduce":
+		return func(c *ocbcast.Core) { c.ReduceOC(0, 0, lines, ocbcast.SumInt64) }, nil
+	case "allreduce":
+		return func(c *ocbcast.Core) { c.AllReduceOC(0, lines, ocbcast.SumInt64) }, nil
+	case "scatter":
+		return func(c *ocbcast.Core) { c.ScatterOC(0, 0, lines) }, nil
+	case "gather":
+		return func(c *ocbcast.Core) { c.GatherOC(0, 0, lines) }, nil
+	case "allgather":
+		return func(c *ocbcast.Core) { c.AllGatherOC(0, lines) }, nil
+	case "ibcast-overlap":
+		// Non-blocking broadcast overlapped with compute slices — the
+		// trace shows the async request span riding under the compute
+		// spans, with progress.resume instants where flags arrive.
+		return func(c *ocbcast.Core) {
+			r := c.IBcastOC(0, 0, lines)
+			for !r.Test() {
+				c.Compute(5)
+			}
+		}, nil
+	default:
+		return nil, fmt.Errorf("trace: unknown -op %q (want bcast, reduce, allreduce, scatter, gather, allgather or ibcast-overlap)", op)
+	}
+}

@@ -1,0 +1,226 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// build records a small well-formed two-core timeline used by several
+// tests: core 0 computes then transfers with a nested flag set; core 1
+// waits, with an async request span and a counter overlapping it.
+func build() (*Recorder, *Timeline) {
+	r := NewRecorder()
+	r.Begin(0, 0, "rma", "compute", BucketCompute, Arg{}, Arg{})
+	r.End(0, 100)
+	r.Begin(0, 100, "rma", "put.mpb", BucketMPB, Arg{"lines", 96}, Arg{"dst", 1})
+	r.Begin(0, 150, "rma", "flag.set", BucketFlag, Arg{}, Arg{})
+	r.End(0, 180)
+	r.End(0, 300)
+	r.Instant(0, 300, "sim", "done", Arg{}, Arg{})
+
+	id := r.AsyncID()
+	r.AsyncBegin(id, 1, 0, "occoll", "bcast", Arg{"lane", 0}, Arg{})
+	r.Counter(1, 0, "occoll", "lanes", 1)
+	r.Begin(1, 0, "rma", "flag.wait", BucketWait, Arg{}, Arg{})
+	r.End(1, 250)
+	r.AsyncEnd(id, 1, 250, "occoll", "bcast")
+	r.Counter(1, 250, "occoll", "lanes", 0)
+	r.Instant(1, 250, "sim", "done", Arg{}, Arg{})
+
+	tl := Capture(r, 2, []ResUsage{
+		{Class: ResMPBPort, Name: "mpb0", Reservations: 2, Units: 96, Busy: 120, Queued: 10},
+		{Class: ResNoCLink, Name: "idle", Reservations: 0},
+	})
+	return r, tl
+}
+
+func TestAttributionClaiming(t *testing.T) {
+	_, tl := build()
+	attr := tl.Attribution()
+
+	// Core 0: compute [0,100), put [100,300) with nested flag.set
+	// [150,180) claiming its 30 from the put (innermost wins).
+	a := attr[0]
+	if a.Total != 300 {
+		t.Fatalf("core 0 total = %d, want 300", a.Total)
+	}
+	want := map[Bucket]Time{BucketCompute: 100, BucketMPB: 170, BucketFlag: 30}
+	for b, d := range want {
+		if a.Buckets[b] != d {
+			t.Errorf("core 0 bucket %s = %d, want %d", b, a.Buckets[b], d)
+		}
+	}
+
+	// Core 1: pure wait.
+	if attr[1].Total != 250 || attr[1].Buckets[BucketWait] != 250 {
+		t.Fatalf("core 1 attribution = %+v, want 250 all wait", attr[1])
+	}
+
+	// Buckets sum to total on every core.
+	for _, a := range attr {
+		var sum Time
+		for _, d := range a.Buckets {
+			sum += d
+		}
+		if sum != a.Total {
+			t.Fatalf("core %d buckets sum %d != total %d", a.Core, sum, a.Total)
+		}
+	}
+}
+
+func TestAttributionUncoveredTimeIsOther(t *testing.T) {
+	r := NewRecorder()
+	r.Begin(0, 50, "rma", "compute", BucketCompute, Arg{}, Arg{})
+	r.End(0, 70)
+	r.Instant(0, 100, "sim", "done", Arg{}, Arg{})
+	tl := Capture(r, 1, nil)
+	a := tl.Attribution()[0]
+	if a.Total != 100 || a.Buckets[BucketOther] != 80 || a.Buckets[BucketCompute] != 20 {
+		t.Fatalf("attribution = %+v, want total 100, other 80, compute 20", a)
+	}
+}
+
+func TestValidateAcceptsWellFormed(t *testing.T) {
+	_, tl := build()
+	if err := tl.Validate(); err != nil {
+		t.Fatalf("well-formed timeline rejected: %v", err)
+	}
+	if tl.End != 300 {
+		t.Fatalf("End = %d, want 300", tl.End)
+	}
+}
+
+func TestValidateCatchesViolations(t *testing.T) {
+	cases := []struct {
+		name string
+		emit func(r *Recorder)
+		want string
+	}{
+		{"time reversal", func(r *Recorder) {
+			r.Instant(0, 100, "sim", "a", Arg{}, Arg{})
+			r.Instant(0, 50, "sim", "b", Arg{}, Arg{})
+		}, "back in time"},
+		{"unbalanced end", func(r *Recorder) {
+			r.End(0, 10)
+		}, "no open span"},
+		{"unclosed span", func(r *Recorder) {
+			r.Begin(0, 0, "rma", "x", BucketMPB, Arg{}, Arg{})
+		}, "unclosed"},
+		{"async end without begin", func(r *Recorder) {
+			r.AsyncEnd(7, 0, 10, "occoll", "x")
+		}, "unopened"},
+		{"async never closed", func(r *Recorder) {
+			r.AsyncBegin(9, 0, 10, "occoll", "x", Arg{}, Arg{})
+		}, "never closed"},
+		{"duplicate async id", func(r *Recorder) {
+			r.AsyncBegin(3, 0, 0, "occoll", "x", Arg{}, Arg{})
+			r.AsyncBegin(3, 0, 5, "occoll", "y", Arg{}, Arg{})
+		}, "already open"},
+		{"core out of range", func(r *Recorder) {
+			r.Instant(5, 0, "sim", "a", Arg{}, Arg{})
+		}, "outside"},
+	}
+	for _, tc := range cases {
+		r := NewRecorder()
+		tc.emit(r)
+		err := Capture(r, 2, nil).Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: Validate() = %v, want error containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestTail(t *testing.T) {
+	r, _ := build()
+	tail := r.Tail(0, 3)
+	if len(tail) != 3 {
+		t.Fatalf("tail length = %d, want 3", len(tail))
+	}
+	// Oldest first, and only core 0 events.
+	for i, ev := range tail {
+		if ev.Core != 0 {
+			t.Fatalf("tail[%d] from core %d", i, ev.Core)
+		}
+		if i > 0 && ev.Time < tail[i-1].Time {
+			t.Fatalf("tail not in time order: %v", tail)
+		}
+	}
+	if tail[2].Name != "done" {
+		t.Fatalf("last tail event = %q, want the done instant", tail[2].Name)
+	}
+	if got := r.Tail(1, 100); len(got) == 0 || len(got) >= r.Len() {
+		t.Fatalf("core-1 tail length = %d, want 0 < n < %d", len(got), r.Len())
+	}
+}
+
+func TestEventString(t *testing.T) {
+	ev := Event{Kind: KindBegin, Core: 3, Time: 1_500_000, Cat: "rma", Name: "put.mem",
+		Str: "oc(k=7)", A0: Arg{"lines", 96}}
+	s := ev.String()
+	for _, want := range []string{"1.5000µs", "B rma/put.mem", "oc(k=7)", "lines=96"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("Event.String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+func TestWritePerfettoWellFormed(t *testing.T) {
+	_, tl := build()
+	var buf bytes.Buffer
+	if err := tl.WritePerfetto(&buf); err != nil {
+		t.Fatalf("WritePerfetto: %v", err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			TS    float64        `json:"ts"`
+			TID   int            `json:"tid"`
+			ID    string         `json:"id"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("exported JSON does not parse: %v", err)
+	}
+	// One thread_name metadata record per core + every recorded event.
+	if want := tl.NCores + len(tl.Events); len(doc.TraceEvents) != want {
+		t.Fatalf("traceEvents length = %d, want %d", len(doc.TraceEvents), want)
+	}
+	phases := map[string]int{}
+	for _, te := range doc.TraceEvents {
+		phases[te.Phase]++
+		if (te.Phase == "b" || te.Phase == "e") && te.ID == "" {
+			t.Fatalf("async event %q lacks an id", te.Name)
+		}
+	}
+	for _, ph := range []string{"M", "B", "E", "i", "b", "e", "C"} {
+		if phases[ph] == 0 {
+			t.Fatalf("no %q phase events exported (got %v)", ph, phases)
+		}
+	}
+	if phases["B"] != phases["E"] {
+		t.Fatalf("unbalanced B/E in export: %v", phases)
+	}
+}
+
+func TestWriteSummary(t *testing.T) {
+	_, tl := build()
+	var buf bytes.Buffer
+	if err := tl.WriteSummary(&buf, 10); err != nil {
+		t.Fatalf("WriteSummary: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"time attribution", "top spans", "rma/put.mpb", "occoll/bcast", "mpb-port", "mpb0"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+	// The idle resource row is suppressed.
+	if strings.Contains(out, "idle") {
+		t.Fatalf("summary should omit unused resources:\n%s", out)
+	}
+}

@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// spanGroup aggregates the closed spans sharing one cat/name key.
+type spanGroup struct {
+	cat, name string
+	durs      []float64 // microseconds
+	total     Time
+}
+
+// collectSpans reconstructs span durations from the event stream:
+// synchronous spans via a per-core stack, async spans via their ids.
+// Durations are grouped by cat/name.
+func (tl *Timeline) collectSpans() []*spanGroup {
+	groups := make(map[string]*spanGroup)
+	record := func(cat, name string, d Time) {
+		key := cat + "/" + name
+		g := groups[key]
+		if g == nil {
+			g = &spanGroup{cat: cat, name: name}
+			groups[key] = g
+		}
+		g.durs = append(g.durs, psToUS(d))
+		g.total += d
+	}
+	stacks := make([][]Event, tl.NCores)
+	asyncOpen := make(map[int64]Event)
+	for _, ev := range tl.Events {
+		c := int(ev.Core)
+		if c < 0 || c >= tl.NCores {
+			continue
+		}
+		switch ev.Kind {
+		case KindBegin:
+			stacks[c] = append(stacks[c], ev)
+		case KindEnd:
+			if n := len(stacks[c]); n > 0 {
+				open := stacks[c][n-1]
+				stacks[c] = stacks[c][:n-1]
+				record(open.Cat, open.Name, ev.Time-open.Time)
+			}
+		case KindAsyncBegin:
+			asyncOpen[ev.ID] = ev
+		case KindAsyncEnd:
+			if open, ok := asyncOpen[ev.ID]; ok {
+				delete(asyncOpen, ev.ID)
+				record(open.Cat, open.Name, ev.Time-open.Time)
+			}
+		}
+	}
+	out := make([]*spanGroup, 0, len(groups))
+	for _, g := range groups {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].total != out[j].total {
+			return out[i].total > out[j].total
+		}
+		return out[i].cat+"/"+out[i].name < out[j].cat+"/"+out[j].name
+	})
+	return out
+}
+
+// WriteSummary renders the timeline as a human-readable report: the
+// per-core attribution table (with a chip-wide total row), the topN
+// span groups by cumulative duration with latency quantiles, and
+// resource utilization. topN ≤ 0 means "all".
+func (tl *Timeline) WriteSummary(w io.Writer, topN int) error {
+	horizon := tl.End
+	fmt.Fprintf(w, "simulated horizon: %.3f µs, %d events on %d cores\n\n",
+		psToUS(horizon), len(tl.Events), tl.NCores)
+
+	// Attribution table.
+	attr := tl.Attribution()
+	fmt.Fprintf(w, "time attribution (µs per core)\n")
+	fmt.Fprintf(w, "%5s %10s %10s %10s %10s %10s %10s %10s\n",
+		"core", "total", BucketCompute, BucketMPB, BucketMem, BucketFlag, BucketWait, BucketOther)
+	var chip CoreAttribution
+	for _, a := range attr {
+		fmt.Fprintf(w, "%5d %10.3f %10.3f %10.3f %10.3f %10.3f %10.3f %10.3f\n",
+			a.Core, psToUS(a.Total),
+			psToUS(a.Buckets[BucketCompute]), psToUS(a.Buckets[BucketMPB]),
+			psToUS(a.Buckets[BucketMem]), psToUS(a.Buckets[BucketFlag]),
+			psToUS(a.Buckets[BucketWait]), psToUS(a.Buckets[BucketOther]))
+		chip.Total += a.Total
+		for b := range a.Buckets {
+			chip.Buckets[b] += a.Buckets[b]
+		}
+	}
+	fmt.Fprintf(w, "%5s %10.3f %10.3f %10.3f %10.3f %10.3f %10.3f %10.3f\n\n",
+		"all", psToUS(chip.Total),
+		psToUS(chip.Buckets[BucketCompute]), psToUS(chip.Buckets[BucketMPB]),
+		psToUS(chip.Buckets[BucketMem]), psToUS(chip.Buckets[BucketFlag]),
+		psToUS(chip.Buckets[BucketWait]), psToUS(chip.Buckets[BucketOther]))
+
+	// Top spans.
+	groups := tl.collectSpans()
+	if topN > 0 && len(groups) > topN {
+		groups = groups[:topN]
+	}
+	fmt.Fprintf(w, "top spans by cumulative simulated time (µs)\n")
+	fmt.Fprintf(w, "%-20s %8s %12s %10s %10s %10s %10s\n",
+		"span", "count", "total", "mean", "p50", "p95", "p99")
+	for _, g := range groups {
+		s := stats.Summarize(g.durs)
+		fmt.Fprintf(w, "%-20s %8d %12.3f %10.3f %10.3f %10.3f %10.3f\n",
+			g.cat+"/"+g.name, s.N, psToUS(g.total), s.Mean, s.P50, s.P95, s.P99)
+	}
+
+	// Resource utilization; skip untouched resources to keep the report
+	// readable on large meshes.
+	if len(tl.Resources) > 0 {
+		fmt.Fprintf(w, "\nresource utilization over the horizon\n")
+		fmt.Fprintf(w, "%-10s %-14s %10s %10s %12s %12s %6s\n",
+			"class", "name", "reserv", "units", "busy µs", "queued µs", "util")
+		for _, u := range tl.Resources {
+			if u.Reservations == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "%-10s %-14s %10d %10d %12.3f %12.3f %5.1f%%\n",
+				u.Class, u.Name, u.Reservations, u.Units,
+				psToUS(u.Busy), psToUS(u.Queued), 100*u.Utilization(horizon))
+		}
+	}
+	return nil
+}

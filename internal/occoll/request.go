@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // The progress engine.
@@ -74,6 +75,11 @@ type Request struct {
 	pendLine int
 	pendSeq  uint64
 
+	// obsID is the request's async-span id when tracing is on (0 = off):
+	// the span runs from issue to protocol completion, overlapping other
+	// requests on the same core's track.
+	obsID int64
+
 	panicVal any
 	resume   chan struct{} // driver -> protocol: run
 	yield    chan struct{} // protocol -> driver: parked or finished
@@ -109,6 +115,11 @@ func (x *Collectives) issue(op string, root, addr, lines int, run func(l *lane, 
 		resume: make(chan struct{}),
 		yield:  make(chan struct{}),
 	}
+	if o := x.core.Obs(); o != nil {
+		r.obsID = o.AsyncID()
+		o.AsyncBegin(r.obsID, x.core.ID(), int64(x.core.Now()), "occoll", op,
+			obs.Arg{Key: "lane", Val: int64(l.idx)}, obs.Arg{Key: "lines", Val: int64(lines)})
+	}
 	l.req = r
 	l.wait = r.waitGE
 	t := l.begin(root)
@@ -116,6 +127,9 @@ func (x *Collectives) issue(op string, root, addr, lines int, run func(l *lane, 
 	x.compactReqs() // keep the list bounded by in-flight requests
 	x.reqs = append(x.reqs, r)
 	r.advance(modeTry)
+	if o := x.core.Obs(); o != nil {
+		o.Counter(x.core.ID(), int64(x.core.Now()), "occoll", "inflight", int64(x.Outstanding()))
+	}
 	return r
 }
 
@@ -147,6 +161,13 @@ func (r *Request) body(run func(l *lane, t core.Tree), t core.Tree) {
 			r.panicVal = p
 		}
 		r.done = true
+		// Emit before handing control back: after the yield send the
+		// driver goroutine may record, and the recorder is unlocked.
+		if o := r.x.core.Obs(); o != nil && r.obsID != 0 {
+			now := int64(r.x.core.Now())
+			o.AsyncEnd(r.obsID, r.x.core.ID(), now, "occoll", r.op)
+			o.Counter(r.x.core.ID(), now, "occoll", "inflight", int64(r.x.Outstanding()))
+		}
 		r.yield <- struct{}{}
 	}()
 	run(r.lane, t)
@@ -268,6 +289,10 @@ func (x *Collectives) Progress() {
 		// which charges the successful poll read.
 		if !x.core.ProbeFlagGE(r.pendLine, r.pendSeq) {
 			continue
+		}
+		if o := x.core.Obs(); o != nil {
+			o.Instant(x.core.ID(), int64(x.core.Now()), "occoll", "progress.resume",
+				obs.Arg{Key: "lane", Val: int64(r.lane.idx)}, obs.Arg{Key: "line", Val: int64(r.pendLine)})
 		}
 		r.advance(modeTry)
 		advanced = advanced || r.done

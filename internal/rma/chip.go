@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/mem"
 	"repro/internal/noc"
+	"repro/internal/obs"
 	"repro/internal/scc"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -28,6 +29,10 @@ type Chip struct {
 	mesh    *noc.Mesh
 	Counter []trace.CoreCounters
 	ipi     []ipiState
+
+	// obs, when non-nil, receives the op-level timeline (put/get/flag
+	// spans, compute spans). Nil means tracing is off.
+	obs *obs.Recorder
 }
 
 // NewChip builds a chip with every core of the configured topology (48
@@ -67,6 +72,43 @@ func NewChipN(cfg scc.Config, n int) *Chip {
 		c.mesh = noc.NewMesh(topo, cfg.LinkSvc)
 	}
 	return c
+}
+
+// SetObserver attaches a timeline recorder to the chip and its engine
+// (nil detaches both). Call before Run.
+func (c *Chip) SetObserver(r *obs.Recorder) {
+	c.obs = r
+	c.Engine.SetObserver(r)
+}
+
+// Observer returns the attached recorder, or nil when tracing is off.
+func (c *Chip) Observer() *obs.Recorder { return c.obs }
+
+// ResourceUsage snapshots the utilization counters of the chip's FIFO
+// servers — every MPB port, plus each directed mesh link when the
+// detailed NoC model is on. Port rows are present even with the
+// contention model disabled; they then simply show zero reservations,
+// since nothing books port time.
+func (c *Chip) ResourceUsage() []obs.ResUsage {
+	var out []obs.ResUsage
+	for _, m := range c.mpbs {
+		res, units, busy, queued := m.Port.Stats()
+		out = append(out, obs.ResUsage{
+			Class: obs.ResMPBPort, Name: m.Port.Name(),
+			Reservations: res, Units: units,
+			Busy: int64(busy), Queued: int64(queued),
+		})
+	}
+	if c.mesh != nil {
+		for _, ls := range c.mesh.LinkQueueStats() {
+			out = append(out, obs.ResUsage{
+				Class: obs.ResNoCLink, Name: ls.Link.String(),
+				Reservations: ls.Reservations, Units: ls.Packets,
+				Busy: int64(ls.Busy), Queued: int64(ls.Queued),
+			})
+		}
+	}
+	return out
 }
 
 // Topo reports the chip's geometry.
@@ -138,7 +180,38 @@ func (c *Core) Now() sim.Time { return c.proc.Now() }
 func (c *Core) Chip() *Chip { return c.chip }
 
 // Compute advances the core's clock by d, modelling local computation.
-func (c *Core) Compute(d sim.Duration) { c.proc.Advance(d) }
+func (c *Core) Compute(d sim.Duration) {
+	if o := c.chip.obs; o != nil && d > 0 {
+		o.Begin(c.id, int64(c.proc.Now()), "rma", "compute", obs.BucketCompute,
+			obs.Arg{Key: "ps", Val: int64(d)}, obs.Arg{})
+		c.proc.Advance(d)
+		o.End(c.id, int64(c.proc.Now()))
+		return
+	}
+	c.proc.Advance(d)
+}
+
+// Obs returns the chip's recorder, or nil when tracing is off. Layers
+// above rma (occoll, the public collectives) emit their spans here.
+func (c *Core) Obs() *obs.Recorder { return c.chip.obs }
+
+// beginSpan opens an rma-category span at the core's current clock and
+// returns the recorder to close it with, or nil when tracing is off.
+// Callers pair it with endSpan after the op's last clock advance.
+func (c *Core) beginSpan(name string, b obs.Bucket, a0, a1 obs.Arg) *obs.Recorder {
+	o := c.chip.obs
+	if o != nil {
+		o.Begin(c.id, int64(c.proc.Now()), "rma", name, b, a0, a1)
+	}
+	return o
+}
+
+// endSpan closes a span opened by beginSpan (no-op on nil).
+func (c *Core) endSpan(o *obs.Recorder) {
+	if o != nil {
+		o.End(c.id, int64(c.proc.Now()))
+	}
+}
 
 // counters returns the core's counter record.
 func (c *Core) counters() *trace.CoreCounters { return &c.chip.Counter[c.id] }

@@ -3,6 +3,7 @@ package rma
 import (
 	"encoding/binary"
 
+	"repro/internal/obs"
 	"repro/internal/scc"
 	"repro/internal/sim"
 )
@@ -18,6 +19,8 @@ import (
 // put whose payload is a register value, so no source read is charged:
 // completion = o^mpb_put + C^mpb_w(d).
 func (c *Core) SetFlag(dst, line int, value uint64) {
+	o := c.beginSpan("flag.set", obs.BucketFlag,
+		obs.Arg{Key: "dst", Val: int64(dst)}, obs.Arg{Key: "line", Val: int64(line)})
 	p := c.chip.Cfg.Params
 	d := c.distMPB(dst)
 	t0 := c.Now()
@@ -36,11 +39,14 @@ func (c *Core) SetFlag(dst, line int, value uint64) {
 	ctr := c.counters()
 	ctr.MPBWriteLines++
 	ctr.FlagSets++
+	c.endSpan(o)
 }
 
 // ReadFlag reads the flag in line `line` of core src's MPB, charging one
 // line read C^mpb_r(d).
 func (c *Core) ReadFlag(src, line int) uint64 {
+	o := c.beginSpan("flag.read", obs.BucketFlag,
+		obs.Arg{Key: "src", Val: int64(src)}, obs.Arg{Key: "line", Val: int64(line)})
 	d := c.distMPB(src)
 	t0 := c.Now()
 	srcPort := c.reservePort(src, t0, 1, false)
@@ -49,6 +55,7 @@ func (c *Core) ReadFlag(src, line int) uint64 {
 	_ = delay
 	v := c.chip.MPB(src).PeekU64(line, c.Now())
 	c.counters().MPBReadLines++
+	c.endSpan(o)
 	return v
 }
 
@@ -57,6 +64,9 @@ func (c *Core) ReadFlag(src, line int) uint64 {
 // poll. Earlier unsuccessful polls cost no virtual time, matching the
 // paper's modelling assumption that flag checking overlaps the wait.
 func (c *Core) WaitFlag(line int, pred func(uint64) bool) uint64 {
+	// The span opens before the wait so blocked time lands in its bucket.
+	o := c.beginSpan("flag.wait", obs.BucketWait,
+		obs.Arg{Key: "line", Val: int64(line)}, obs.Arg{})
 	own := c.chip.MPB(c.id)
 	own.WaitU64(c.proc, line, pred)
 	c.proc.Advance(c.CMpbR(1))
@@ -64,6 +74,7 @@ func (c *Core) WaitFlag(line int, pred func(uint64) bool) uint64 {
 	ctr := c.counters()
 	ctr.MPBReadLines++
 	ctr.FlagWaits++
+	c.endSpan(o)
 	return v
 }
 
@@ -84,10 +95,13 @@ func (c *Core) TryFlagGE(line int, seq uint64) bool {
 	if !c.ProbeFlagGE(line, seq) {
 		return false
 	}
+	o := c.beginSpan("flag.poll", obs.BucketWait,
+		obs.Arg{Key: "line", Val: int64(line)}, obs.Arg{})
 	c.proc.Advance(c.CMpbR(1))
 	ctr := c.counters()
 	ctr.MPBReadLines++
 	ctr.FlagWaits++
+	c.endSpan(o)
 	return true
 }
 
@@ -112,8 +126,11 @@ func (c *Core) LocalFlag(line int) uint64 {
 // WriteLocalLine stores a full line into the core's own MPB, charging a
 // local line write C^mpb_w(1). Used to initialize buffers and flags.
 func (c *Core) WriteLocalLine(line int, data []byte) {
+	o := c.beginSpan("line.write", obs.BucketMPB,
+		obs.Arg{Key: "line", Val: int64(line)}, obs.Arg{})
 	eff := c.Now() + c.LMpbW(1)
 	c.chip.MPB(c.id).WriteLine(line, data, eff)
 	c.proc.Advance(c.CMpbW(1))
 	c.counters().MPBWriteLines++
+	c.endSpan(o)
 }

@@ -1,6 +1,7 @@
 package rma
 
 import (
+	"repro/internal/obs"
 	"repro/internal/scc"
 	"repro/internal/sim"
 )
@@ -25,6 +26,8 @@ const ipiWatchSpace = 1 << 20
 // destination d·Lhop earlier (no MPB port arbitration: config registers
 // have their own path).
 func (c *Core) SendIPI(dst int) {
+	o := c.beginSpan("ipi.send", obs.BucketFlag,
+		obs.Arg{Key: "dst", Val: int64(dst)}, obs.Arg{})
 	p := c.chip.Cfg.Params
 	d := c.distMPB(dst)
 	t0 := c.Now()
@@ -34,6 +37,7 @@ func (c *Core) SendIPI(dst int) {
 	st := &c.chip.ipi[dst]
 	st.deliveries = append(st.deliveries, eff)
 	c.chip.Engine.Signal(sim.WatchKey{Space: ipiWatchSpace, Line: dst}, eff)
+	c.endSpan(o)
 }
 
 // WaitIPI blocks until an interrupt is delivered to this core, then
@@ -41,6 +45,7 @@ func (c *Core) SendIPI(dst int) {
 // delivery order; one call consumes one interrupt. It returns the
 // virtual time at which the handler began executing.
 func (c *Core) WaitIPI() sim.Time {
+	o := c.beginSpan("ipi.wait", obs.BucketWait, obs.Arg{}, obs.Arg{})
 	st := &c.chip.ipi[c.id]
 	key := sim.WatchKey{Space: ipiWatchSpace, Line: c.id}
 	for {
@@ -49,6 +54,7 @@ func (c *Core) WaitIPI() sim.Time {
 			st.consumed++
 			c.proc.AdvanceTo(eff)
 			c.proc.Advance(ipiHandlerOverhead)
+			c.endSpan(o)
 			return c.Now()
 		}
 		c.proc.Block(key, func() bool {
@@ -80,6 +86,8 @@ type ipiState struct {
 // with a register/immediate source, like SetFlag but carrying arbitrary
 // payload (used for MPMD activation descriptors).
 func (c *Core) PutLine(dst, line int, data []byte) {
+	o := c.beginSpan("line.put", obs.BucketMPB,
+		obs.Arg{Key: "dst", Val: int64(dst)}, obs.Arg{Key: "line", Val: int64(line)})
 	p := c.chip.Cfg.Params
 	d := c.distMPB(dst)
 	t0 := c.Now()
@@ -95,15 +103,19 @@ func (c *Core) PutLine(dst, line int, data []byte) {
 	copy(buf[:], data)
 	c.chip.MPB(dst).WriteLine(line, buf[:], eff+delay)
 	c.counters().MPBWriteLines++
+	c.endSpan(o)
 }
 
 // ReadLineBytes reads a full 32-byte line from core src's MPB, charging
 // one line read C^mpb_r(d).
 func (c *Core) ReadLineBytes(src, line int) []byte {
+	o := c.beginSpan("line.read", obs.BucketMPB,
+		obs.Arg{Key: "src", Val: int64(src)}, obs.Arg{Key: "line", Val: int64(line)})
 	d := c.distMPB(src)
 	t0 := c.Now()
 	srcPort := c.reservePort(src, t0, 1, false)
 	c.finishOp(t0+c.CMpbR(d), srcPort, sim.Duration(d)*c.chip.Cfg.Params.Lhop, 0)
 	c.counters().MPBReadLines++
+	c.endSpan(o)
 	return c.chip.MPB(src).ReadLine(line, c.Now())
 }

@@ -3,6 +3,7 @@ package rma
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/scc"
 	"repro/internal/sim"
 )
@@ -148,6 +149,8 @@ func unfairness(core int) float64 {
 // line becomes visible d·Lhop before the operation completes (Formula 9).
 func (c *Core) PutMPBToMPB(dst, dstLine, srcLine, m int) {
 	checkLines(m)
+	o := c.beginSpan("put.mpb", obs.BucketMPB,
+		obs.Arg{Key: "dst", Val: int64(dst)}, obs.Arg{Key: "lines", Val: int64(m)})
 	p := c.chip.Cfg.Params
 	d := c.distMPB(dst)
 	t0 := c.Now()
@@ -175,6 +178,7 @@ func (c *Core) PutMPBToMPB(dst, dstLine, srcLine, m int) {
 	ctr.MPBReadLines += int64(m)
 	ctr.MPBWriteLines += int64(m)
 	ctr.PutOps++
+	c.endSpan(o)
 }
 
 // PutMemToMPB copies m cache lines from this core's private off-chip
@@ -184,6 +188,8 @@ func (c *Core) PutMPBToMPB(dst, dstLine, srcLine, m int) {
 func (c *Core) PutMemToMPB(dst, dstLine, srcAddr, m int) {
 	checkLines(m)
 	checkAlign(srcAddr)
+	o := c.beginSpan("put.mem", obs.BucketMem,
+		obs.Arg{Key: "dst", Val: int64(dst)}, obs.Arg{Key: "lines", Val: int64(m)})
 	p := c.chip.Cfg.Params
 	d := c.distMPB(dst)
 	dm := c.distMem()
@@ -234,6 +240,7 @@ func (c *Core) PutMemToMPB(dst, dstLine, srcAddr, m int) {
 	}
 	ctr.MPBWriteLines += int64(m)
 	ctr.PutOps++
+	c.endSpan(o)
 }
 
 // writeRun is one uniform-stride sub-extent of a bulk write whose
@@ -249,6 +256,8 @@ type writeRun struct {
 // C^mpb_get = o^mpb_get + m·C^mpb_r(dsrc) + m·C^mpb_w(1).
 func (c *Core) GetMPBToMPB(src, srcLine, dstLine, m int) {
 	checkLines(m)
+	o := c.beginSpan("get.mpb", obs.BucketMPB,
+		obs.Arg{Key: "src", Val: int64(src)}, obs.Arg{Key: "lines", Val: int64(m)})
 	p := c.chip.Cfg.Params
 	d := c.distMPB(src)
 	t0 := c.Now()
@@ -273,6 +282,7 @@ func (c *Core) GetMPBToMPB(src, srcLine, dstLine, m int) {
 	ctr.MPBReadLines += int64(m)
 	ctr.MPBWriteLines += int64(m)
 	ctr.GetOps++
+	c.endSpan(o)
 }
 
 // GetMPBCombine reads m cache lines from core src's MPB starting at
@@ -285,6 +295,8 @@ func (c *Core) GetMPBToMPB(src, srcLine, dstLine, m int) {
 // cost purely communicational like the other ops.
 func (c *Core) GetMPBCombine(src, srcLine, dstLine, m int, combine func(dst, src []byte)) {
 	checkLines(m)
+	o := c.beginSpan("get.combine", obs.BucketMPB,
+		obs.Arg{Key: "src", Val: int64(src)}, obs.Arg{Key: "lines", Val: int64(m)})
 	p := c.chip.Cfg.Params
 	d := c.distMPB(src)
 	t0 := c.Now()
@@ -325,6 +337,7 @@ func (c *Core) GetMPBCombine(src, srcLine, dstLine, m int, combine func(dst, src
 	ctr.MPBReadLines += int64(2 * m)
 	ctr.MPBWriteLines += int64(m)
 	ctr.GetOps++
+	c.endSpan(o)
 }
 
 // GetMPBToMem copies m cache lines from core src's MPB into this core's
@@ -336,6 +349,8 @@ func (c *Core) GetMPBCombine(src, srcLine, dstLine, m int, combine func(dst, src
 func (c *Core) GetMPBToMem(src, srcLine, dstAddr, m int) {
 	checkLines(m)
 	checkAlign(dstAddr)
+	o := c.beginSpan("get.mem", obs.BucketMem,
+		obs.Arg{Key: "src", Val: int64(src)}, obs.Arg{Key: "lines", Val: int64(m)})
 	p := c.chip.Cfg.Params
 	d := c.distMPB(src)
 	dm := c.distMem()
@@ -359,6 +374,7 @@ func (c *Core) GetMPBToMem(src, srcLine, dstAddr, m int) {
 	ctr.MPBReadLines += int64(m)
 	ctr.MemWriteLines += int64(m)
 	ctr.GetOps++
+	c.endSpan(o)
 }
 
 func checkAlign(addr int) {

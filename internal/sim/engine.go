@@ -3,6 +3,9 @@ package sim
 import (
 	"fmt"
 	"sort"
+	"strings"
+
+	"repro/internal/obs"
 )
 
 // Engine is a deterministic virtual-time scheduler for a fixed set of
@@ -24,6 +27,11 @@ type Engine struct {
 
 	// watchers maps a watch key to the processes blocked on it.
 	watchers map[WatchKey][]*blockedProc
+
+	// obs, when non-nil, receives scheduling events (block/wake/done
+	// instants) and supplies deadlock context. Nil means tracing is off;
+	// every emission site guards on that.
+	obs *obs.Recorder
 
 	panicVal any // re-panicked on Run if a process panicked
 }
@@ -59,6 +67,13 @@ func NewEngine(n int) *Engine {
 
 // N reports the number of processes.
 func (e *Engine) N() int { return len(e.procs) }
+
+// SetObserver attaches a timeline recorder (nil detaches). Call before
+// Run; the engine and its processes emit scheduling instants to it.
+func (e *Engine) SetObserver(r *obs.Recorder) { e.obs = r }
+
+// Observer returns the attached recorder, or nil when tracing is off.
+func (e *Engine) Observer() *obs.Recorder { return e.obs }
 
 // Proc returns process i.
 func (e *Engine) Proc(i int) *Proc { return e.procs[i] }
@@ -144,6 +159,9 @@ func (e *Engine) addWatcher(key WatchKey, p *Proc, pred func() bool) {
 }
 
 // reportDeadlock panics with a description of all blocked processes.
+// When tracing is on, the panic message includes each stuck process's
+// last few timeline events, so the report says what every blocked core
+// was doing — not just that it was blocked.
 func (e *Engine) reportDeadlock() {
 	var stuck []int
 	for _, p := range e.procs {
@@ -152,6 +170,26 @@ func (e *Engine) reportDeadlock() {
 		}
 	}
 	sort.Ints(stuck)
-	panic(fmt.Sprintf("sim: deadlock — %d/%d processes finished, blocked procs: %v",
-		e.finished, len(e.procs), stuck))
+	msg := fmt.Sprintf("sim: deadlock — %d/%d processes finished, blocked procs: %v",
+		e.finished, len(e.procs), stuck)
+	if e.obs != nil {
+		var sb strings.Builder
+		sb.WriteString(msg)
+		for _, id := range stuck {
+			fmt.Fprintf(&sb, "\n  proc %d recent events:", id)
+			tail := e.obs.Tail(id, deadlockTailEvents)
+			if len(tail) == 0 {
+				sb.WriteString(" (none recorded)")
+			}
+			for _, ev := range tail {
+				fmt.Fprintf(&sb, "\n    %s", ev)
+			}
+		}
+		msg = sb.String()
+	}
+	panic(msg)
 }
+
+// deadlockTailEvents is how many recent events per stuck process a
+// deadlock report includes when tracing is on.
+const deadlockTailEvents = 8

@@ -1,5 +1,7 @@
 package sim
 
+import "repro/internal/obs"
+
 type procState int
 
 const (
@@ -60,6 +62,11 @@ func (p *Proc) start(body func(*Proc)) {
 		defer func() {
 			if r := recover(); r != nil {
 				p.eng.panicVal = r
+			}
+			if o := p.eng.obs; o != nil {
+				// The done instant pins the core's final clock on its
+				// track; attribution uses it as the core's total.
+				o.Instant(p.id, int64(p.now), "sim", "done", obs.Arg{}, obs.Arg{})
 			}
 			p.state = stateDone
 			p.eng.finished++
@@ -122,9 +129,16 @@ func (p *Proc) Block(key WatchKey, pred func() bool) Time {
 		p.doYield()
 		return p.now
 	}
+	if o := p.eng.obs; o != nil {
+		o.Instant(p.id, int64(p.now), "sim", "block",
+			obs.Arg{Key: "space", Val: int64(key.Space)}, obs.Arg{Key: "line", Val: int64(key.Line)})
+	}
 	p.state = stateBlocked
 	p.eng.addWatcher(key, p, pred)
 	p.doYield()
+	if o := p.eng.obs; o != nil {
+		o.Instant(p.id, int64(p.now), "sim", "wake", obs.Arg{}, obs.Arg{})
+	}
 	return p.now
 }
 

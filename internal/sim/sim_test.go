@@ -1,8 +1,11 @@
 package sim
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/obs"
 )
 
 func TestTimeConversions(t *testing.T) {
@@ -146,6 +149,36 @@ func TestDeadlockDetection(t *testing.T) {
 	e.Run(func(p *Proc) {
 		if p.ID() == 0 {
 			p.Block(WatchKey{Space: 1, Line: 1}, func() bool { return false })
+		}
+	})
+}
+
+// TestDeadlockReportIncludesTimeline: with an observer attached, the
+// deadlock panic names each stuck proc's recent timeline events — the
+// block instant itself at minimum — so the report says what the core
+// was doing, not just that it was blocked.
+func TestDeadlockReportIncludesTimeline(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("deadlocked engine did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("recovered %T, want string", r)
+		}
+		for _, want := range []string{"proc 0 recent events:", "sim/block"} {
+			if !strings.Contains(msg, want) {
+				t.Fatalf("deadlock report missing %q:\n%s", want, msg)
+			}
+		}
+	}()
+	e := NewEngine(2)
+	e.SetObserver(obs.NewRecorder())
+	e.Run(func(p *Proc) {
+		if p.ID() == 0 {
+			p.Advance(Microsecond)
+			p.Block(WatchKey{Space: 1, Line: 7}, func() bool { return false })
 		}
 	})
 }

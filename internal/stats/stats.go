@@ -16,7 +16,7 @@ type Summary struct {
 	N              int
 	Mean, Min, Max float64
 	StdDev         float64
-	P50, P95       float64
+	P50, P95, P99  float64
 }
 
 // Summarize computes summary statistics; it panics on an empty sample.
@@ -46,6 +46,7 @@ func Summarize(xs []float64) Summary {
 	sort.Float64s(sorted)
 	s.P50 = quantile(sorted, 0.50)
 	s.P95 = quantile(sorted, 0.95)
+	s.P99 = quantile(sorted, 0.99)
 	return s
 }
 

@@ -26,8 +26,52 @@ func TestSummarize(t *testing.T) {
 
 func TestSummarizeSingleton(t *testing.T) {
 	s := Summarize([]float64{7})
-	if s.Mean != 7 || s.P50 != 7 || s.P95 != 7 || s.StdDev != 0 {
+	if s.Mean != 7 || s.P50 != 7 || s.P95 != 7 || s.P99 != 7 || s.StdDev != 0 {
 		t.Fatalf("singleton summary wrong: %+v", s)
+	}
+}
+
+func TestQuantileInterpolationEdges(t *testing.T) {
+	// Two-point sample: every quantile is a straight line between the
+	// endpoints, and the extreme quantiles hit them exactly.
+	if got := quantile([]float64{10, 20}, 0); got != 10 {
+		t.Fatalf("q=0 of {10,20} = %v, want 10", got)
+	}
+	if got := quantile([]float64{10, 20}, 1); got != 20 {
+		t.Fatalf("q=1 of {10,20} = %v, want 20", got)
+	}
+	if got := quantile([]float64{10, 20}, 0.99); !almost(got, 19.9, 1e-12) {
+		t.Fatalf("q=0.99 of {10,20} = %v, want 19.9", got)
+	}
+
+	// 101-point sample 0..100: p99 lands exactly on an element (pos =
+	// 0.99·100 = 99, frac 0), so interpolation must not smear it.
+	xs := make([]float64, 101)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	s := Summarize(xs)
+	if s.P99 != 99 {
+		t.Fatalf("p99 of 0..100 = %v, want 99", s.P99)
+	}
+	if s.P50 != 50 || s.P95 != 95 {
+		t.Fatalf("p50/p95 of 0..100 = %v/%v, want 50/95", s.P50, s.P95)
+	}
+
+	// 100-point sample 1..100: p99 falls between the 99th and 100th
+	// order statistics (pos = 0.99·99 = 98.01 → 99 + 0.01·1).
+	xs = xs[:0]
+	for i := 1; i <= 100; i++ {
+		xs = append(xs, float64(i))
+	}
+	if got := Summarize(xs).P99; !almost(got, 99.01, 1e-9) {
+		t.Fatalf("p99 of 1..100 = %v, want 99.01", got)
+	}
+
+	// Monotonicity across the summary's quantiles on a skewed sample.
+	s = Summarize([]float64{1, 1, 1, 1, 1, 1, 1, 1, 1, 1000})
+	if !(s.P50 <= s.P95 && s.P95 <= s.P99 && s.P99 <= s.Max) {
+		t.Fatalf("quantiles not monotone: %+v", s)
 	}
 }
 

@@ -38,6 +38,7 @@ import (
 	"repro/internal/collective"
 	occore "repro/internal/core"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/occoll"
 	"repro/internal/rcce"
 	"repro/internal/rma"
@@ -91,6 +92,12 @@ type Options struct {
 	DisableContention bool
 	// DetailedNoC enables per-link packet accounting on the mesh.
 	DetailedNoC bool
+	// Trace records a full observability timeline of the run — spans for
+	// every RMA op and collective, per-core time attribution, resource
+	// utilization — retrievable via System.Timeline after Run. Tracing
+	// never changes simulated timings; disabled (the default) it costs
+	// one nil check per instrumentation point.
+	Trace bool
 	// Params overrides the Table 1 timing parameters when non-nil.
 	Params *scc.Params
 }
@@ -101,6 +108,7 @@ type System struct {
 	occfg occore.Config
 	alg   string
 	plan  *algsel.Plan
+	obs   *obs.Recorder // non-nil iff Options.Trace
 }
 
 // New builds a simulated chip. It panics on invalid options (consistent
@@ -149,10 +157,26 @@ func New(opts Options) *System {
 		panic(fmt.Sprintf("ocbcast: unknown algorithm %q (use \"auto\" or a registered name)", opts.Algorithm))
 	}
 	s := &System{chip: rma.NewChipN(cfg, n), occfg: occfg, alg: opts.Algorithm}
+	if opts.Trace {
+		s.obs = obs.NewRecorder()
+		s.chip.SetObserver(s.obs)
+	}
 	if s.alg == "auto" {
 		s.Tune() // materialize the decision table the cores will consult
 	}
 	return s
+}
+
+// Timeline returns the run's observability record — the event stream,
+// per-core time attribution, and end-of-run resource utilization — or
+// nil when the System was built without Options.Trace. Call it after
+// Run; see the returned Timeline's Attribution, WritePerfetto and
+// WriteSummary methods.
+func (s *System) Timeline() *obs.Timeline {
+	if s.obs == nil {
+		return nil
+	}
+	return obs.Capture(s.obs, s.chip.NCores, s.chip.ResourceUsage())
 }
 
 // N reports the number of simulated cores.

@@ -49,3 +49,13 @@ func TestSmokeOcbench(t *testing.T) {
 		t.Fatalf("ocbench produced no tables:\n%s", out)
 	}
 }
+
+func TestSmokeOcbenchTrace(t *testing.T) {
+	out := runGo(t, "run", "./cmd/ocbench", "trace",
+		"-lines", "32", "-out", t.TempDir()+"/trace.json")
+	for _, want := range []string{"time attribution", "top spans", "ui.perfetto.dev"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("ocbench trace output missing %q:\n%s", want, out)
+		}
+	}
+}

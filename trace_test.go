@@ -1,0 +1,248 @@
+package ocbcast_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	ocbcast "repro"
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// The observability contract: Options.Trace records the timeline but
+// NEVER changes what the simulator computes. These tests pin that
+// contract on a real workload that exercises every span family —
+// blocking collectives (sync spans), Compute (compute bucket), a
+// non-blocking broadcast polled to completion (async spans, counters,
+// progress instants) and the flag waits underneath all of them.
+
+const (
+	traceBcastLines = 64
+	traceRedLines   = 16
+	traceIbLines    = 32
+	traceRedAddr    = 16 << 10
+	traceIbAddr     = 32 << 10
+)
+
+func traceWorkload(c *ocbcast.Core) {
+	c.Broadcast(0, 0, traceBcastLines)
+	c.Compute(3)
+	c.AllReduceOC(traceRedAddr, traceRedLines, ocbcast.SumInt64)
+	r := c.IBcastOC(0, traceIbAddr, traceIbLines)
+	for !r.Test() {
+		c.Compute(2)
+	}
+}
+
+// runTraceWorkload runs traceWorkload on a fresh System and returns
+// everything an identical re-run must reproduce bit for bit: per-core
+// completion times, per-core data-movement counters and the broadcast
+// output buffers.
+func runTraceWorkload(t *testing.T, traceOn bool) (sys *ocbcast.System, us []float64, ctr []trace.CoreCounters, out [][]byte) {
+	t.Helper()
+	sys = ocbcast.New(ocbcast.Options{Trace: traceOn})
+	sys.WritePrivate(0, 0, payload(traceBcastLines))
+	sys.WritePrivate(0, traceIbAddr, payload(traceIbLines))
+	us = make([]float64, sys.N())
+	sys.Run(func(c *ocbcast.Core) {
+		red := make([]byte, traceRedLines*ocbcast.CacheLineBytes)
+		for i := range red {
+			red[i] = byte(c.ID())
+		}
+		c.WriteOwnPrivate(traceRedAddr, red)
+		traceWorkload(c)
+		us[c.ID()] = c.NowMicros()
+	})
+	for i := 0; i < sys.N(); i++ {
+		ctr = append(ctr, sys.Counters(i))
+		out = append(out, sys.ReadPrivate(i, traceIbAddr, traceIbLines*ocbcast.CacheLineBytes))
+	}
+	return sys, us, ctr, out
+}
+
+// TestTraceParity is the zero-cost-when-observed guarantee: a traced
+// run produces bit-identical simulated times, counters and data as the
+// untraced run of the same workload.
+func TestTraceParity(t *testing.T) {
+	offSys, offUs, offCtr, offOut := runTraceWorkload(t, false)
+	onSys, onUs, onCtr, onOut := runTraceWorkload(t, true)
+
+	if tl := offSys.Timeline(); tl != nil {
+		t.Fatal("Timeline() != nil with tracing off")
+	}
+	for i := range offUs {
+		if offUs[i] != onUs[i] {
+			t.Fatalf("core %d completion time: untraced %v µs, traced %v µs", i, offUs[i], onUs[i])
+		}
+		if offCtr[i] != onCtr[i] {
+			t.Fatalf("core %d counters diverge:\n  untraced %v\n  traced   %v", i, offCtr[i], onCtr[i])
+		}
+		if !bytes.Equal(offOut[i], onOut[i]) {
+			t.Fatalf("core %d output bytes diverge between traced and untraced runs", i)
+		}
+	}
+
+	tl := onSys.Timeline()
+	if tl == nil {
+		t.Fatal("Timeline() == nil with tracing on")
+	}
+	if err := tl.Validate(); err != nil {
+		t.Fatalf("timeline invalid: %v", err)
+	}
+	if tl.NCores != onSys.N() || len(tl.Events) == 0 || tl.End <= 0 {
+		t.Fatalf("timeline shape: ncores=%d events=%d end=%d", tl.NCores, len(tl.Events), tl.End)
+	}
+}
+
+// TestTraceAttributionSumsToTotal is the acceptance criterion on the
+// time-attribution report: per core, the six buckets partition the
+// core's full simulated lifetime with nothing dropped or counted twice.
+func TestTraceAttributionSumsToTotal(t *testing.T) {
+	sys, us, _, _ := runTraceWorkload(t, true)
+	tl := sys.Timeline()
+	att := tl.Attribution()
+	if len(att) != sys.N() {
+		t.Fatalf("attribution rows = %d, want %d", len(att), sys.N())
+	}
+	for _, a := range att {
+		var sum obs.Time
+		for _, b := range a.Buckets {
+			sum += b
+		}
+		if sum != a.Total {
+			t.Fatalf("core %d: buckets sum to %d ps, total %d ps", a.Core, sum, a.Total)
+		}
+		// Total is the core's final clock: the "done" instant pins it.
+		if got := float64(a.Total) / 1e6; got != us[a.Core] {
+			t.Fatalf("core %d: attribution total %.4f µs, core finished at %.4f µs", a.Core, got, us[a.Core])
+		}
+		if a.Buckets[obs.BucketCompute] <= 0 {
+			t.Fatalf("core %d: workload computes but compute bucket is %d", a.Core, a.Buckets[obs.BucketCompute])
+		}
+		if a.Buckets[obs.BucketMPB]+a.Buckets[obs.BucketMem] <= 0 {
+			t.Fatalf("core %d: no data-movement time attributed", a.Core)
+		}
+	}
+}
+
+// perfettoEvent mirrors the fields of the exported trace-event records
+// that the schema test checks.
+type perfettoEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	ID   string         `json:"id"`
+	S    string         `json:"s"`
+	Args map[string]any `json:"args"`
+}
+
+// TestTracePerfettoSchema validates the exported JSON the way the
+// Perfetto importer would: parseable, one metadata record per core,
+// balanced B/E per track, per-track timestamps nondecreasing, async
+// begin/end ids paired, and only known phase letters.
+func TestTracePerfettoSchema(t *testing.T) {
+	sys, _, _, _ := runTraceWorkload(t, true)
+	tl := sys.Timeline()
+	var buf bytes.Buffer
+	if err := tl.WritePerfetto(&buf); err != nil {
+		t.Fatalf("WritePerfetto: %v", err)
+	}
+
+	var doc struct {
+		DisplayTimeUnit string          `json:"displayTimeUnit"`
+		TraceEvents     []perfettoEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q, want \"ms\"", doc.DisplayTimeUnit)
+	}
+	if want := tl.NCores + len(tl.Events); len(doc.TraceEvents) != want {
+		t.Fatalf("traceEvents = %d records, want %d (metadata + events)", len(doc.TraceEvents), want)
+	}
+
+	depth := make(map[int]int)      // per-track open sync spans
+	lastTs := make(map[int]float64) // per-track timestamp cursor
+	asyncOpen := make(map[string]int)
+	meta := 0
+	for i, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			meta++
+			continue
+		case "B":
+			depth[ev.Tid]++
+		case "E":
+			depth[ev.Tid]--
+			if depth[ev.Tid] < 0 {
+				t.Fatalf("record %d: E without B on track %d", i, ev.Tid)
+			}
+		case "b":
+			if ev.ID == "" {
+				t.Fatalf("record %d: async begin without id", i)
+			}
+			asyncOpen[ev.ID]++
+		case "e":
+			asyncOpen[ev.ID]--
+			if asyncOpen[ev.ID] < 0 {
+				t.Fatalf("record %d: async end %q without begin", i, ev.ID)
+			}
+		case "i":
+			if ev.S != "t" {
+				t.Fatalf("record %d: instant scope %q, want \"t\"", i, ev.S)
+			}
+		case "C":
+			if _, ok := ev.Args["value"]; !ok {
+				t.Fatalf("record %d: counter without args.value", i)
+			}
+		default:
+			t.Fatalf("record %d: unknown phase %q", i, ev.Ph)
+		}
+		if ev.Ts < lastTs[ev.Tid] {
+			t.Fatalf("record %d: track %d goes back in time (%v µs after %v µs)", i, ev.Tid, ev.Ts, lastTs[ev.Tid])
+		}
+		lastTs[ev.Tid] = ev.Ts
+	}
+	if meta != tl.NCores {
+		t.Fatalf("metadata records = %d, want one per core (%d)", meta, tl.NCores)
+	}
+	for tid, d := range depth {
+		if d != 0 {
+			t.Fatalf("track %d ends with %d unclosed sync spans", tid, d)
+		}
+	}
+	for id, n := range asyncOpen {
+		if n != 0 {
+			t.Fatalf("async span %s left open", id)
+		}
+	}
+}
+
+// TestTraceSpanFamilies spot-checks that each layer shows up on the
+// timeline under its documented category.
+func TestTraceSpanFamilies(t *testing.T) {
+	sys, _, _, _ := runTraceWorkload(t, true)
+	tl := sys.Timeline()
+	cats := map[string]bool{}
+	names := map[string]bool{}
+	for _, ev := range tl.Events {
+		cats[ev.Cat] = true
+		names[fmt.Sprintf("%s/%s", ev.Cat, ev.Name)] = true
+	}
+	for _, cat := range []string{"api", "api.issue", "rma", "occoll", "sim"} {
+		if !cats[cat] {
+			t.Fatalf("no %q events on the timeline (cats: %v)", cat, cats)
+		}
+	}
+	for _, name := range []string{"rma/compute", "rma/flag.wait", "sim/done", "occoll/inflight", "occoll/IBcast"} {
+		if !names[name] {
+			t.Fatalf("no %q events on the timeline", name)
+		}
+	}
+}
