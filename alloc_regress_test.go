@@ -1,0 +1,70 @@
+// Allocation-budget regression tests for the simulator hot paths. Each
+// budget pins a steady-state contract established by the
+// allocation-free-hot-path work: the numbers are deliberately loose
+// ceilings (2-3x current measurements), so they catch a regression that
+// reintroduces per-line or per-op allocation without flaking on noise
+// from runtime internals.
+package ocbcast_test
+
+import (
+	"testing"
+
+	"repro/internal/algsel"
+	occore "repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/scc"
+)
+
+// TestAllocsPerBroadcastBudget pins the headline number the perf gate
+// also checks: one warmed 48-core, 96-line OC-Bcast simulation — chip
+// acquisition, barrier, broadcast, release — must stay within 500 heap
+// allocations (the seed code performed ~2268; the hot-path overhaul
+// brought it under 200).
+func TestAllocsPerBroadcastBudget(t *testing.T) {
+	cfg := scc.DefaultConfig()
+	run := func() {
+		harness.MeanLatency(cfg, harness.Alg{Name: "oc", K: 7}, scc.NumCores, 96, 1)
+	}
+	run() // warm the chip pool
+	allocs := testing.AllocsPerRun(5, run)
+	if allocs > 500 {
+		t.Errorf("warmed MeasureBcast allocates %.0f times per broadcast, budget 500", allocs)
+	}
+	t.Logf("allocs per warmed broadcast: %.0f", allocs)
+}
+
+// TestAllocsPerOverlapRun pins the non-blocking lane protocol: a warmed
+// issue+progress+wait allreduce cycle (request frames, protocol
+// coroutine, lane records) must not regress to per-step allocation.
+func TestAllocsPerOverlapRun(t *testing.T) {
+	cfg := scc.DefaultConfig()
+	cell := harness.OverlapCell{K: 7, Lines: 64, Overlap: true}
+	run := func() { harness.MeasureOverlap(cfg, 8, cell) }
+	run() // warm the chip pool
+	allocs := testing.AllocsPerRun(5, run)
+	if allocs > 400 {
+		t.Errorf("warmed overlap run allocates %.0f times, budget 400", allocs)
+	}
+	t.Logf("allocs per warmed overlap run: %.0f", allocs)
+}
+
+// TestTuneCacheHitAllocs pins the Tune memo: a cache hit is a key build
+// plus a map probe, far under a full grid-and-bisection sweep.
+func TestTuneCacheHitAllocs(t *testing.T) {
+	cfg := scc.DefaultConfig()
+	base := occore.DefaultConfig()
+	topo := cfg.Topology()
+	warm := algsel.TuneCached(cfg.Params, topo, scc.NumCores, base)
+	if warm == nil {
+		t.Fatal("TuneCached returned nil plan")
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if algsel.TuneCached(cfg.Params, topo, scc.NumCores, base) != warm {
+			t.Fatal("cache hit returned a different plan pointer")
+		}
+	})
+	// The only allocation on a hit is the topology fingerprint string.
+	if allocs > 2 {
+		t.Errorf("Tune cache hit allocates %.1f times, budget 2", allocs)
+	}
+}

@@ -47,7 +47,7 @@ type PlanEntry struct {
 // is idempotent and cheap (pure arithmetic, no simulation).
 func (s *System) Tune() []PlanEntry {
 	if s.plan == nil {
-		s.plan = algsel.Tune(s.chip.Cfg.Params, s.chip.Topo(), s.chip.NCores, s.occfg)
+		s.plan = algsel.TuneCached(s.chip.Cfg.Params, s.chip.Topo(), s.chip.NCores, s.occfg)
 	}
 	var out []PlanEntry
 	for _, op := range algsel.Ops() {

@@ -12,7 +12,7 @@
 //	ocbench perf                 # wall-clock simulator throughput -> BENCH_simperf.json
 //	ocbench tune                 # decision tables + auto-selection regret -> BENCH_simperf.json
 //	ocbench -verify tune         # gate the checked-in crossover table (CI)
-//	ocbench -verify perf         # observability overhead gate vs the checked-in baseline (CI)
+//	ocbench -verify perf         # hot-path perf gate (allocs + throughput) vs the checked-in baseline (CI)
 //	ocbench trace -op allreduce  # run one traced collective -> Perfetto JSON + text summary
 //
 // Flags:
@@ -39,6 +39,8 @@ func main() {
 	verify := flag.Bool("verify", false, "tune/perf: gate against the checked-in BENCH_simperf.json")
 	allocMax := flag.Float64("alloc-max-pct", 2, "perf -verify: max allocs-per-simulation drift in percent")
 	wallMax := flag.Float64("wall-max-pct", 50, "perf -verify: max wall-clock-per-simulation slowdown in percent")
+	allocCap := flag.Float64("alloc-cap", 500, "perf -verify: absolute allocs-per-simulation budget")
+	floorPct := flag.Float64("simsps-floor-pct", 50, "perf -verify: min simulations/sec as a percent of the baseline")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -69,7 +71,7 @@ func main() {
 	case "perf":
 		err := error(nil)
 		if *verify {
-			err = runPerfVerify(cfg, *allocMax, *wallMax)
+			err = runPerfVerify(cfg, *allocMax, *wallMax, *allocCap, *floorPct)
 		} else {
 			err = runPerf(cfg, *effort)
 		}

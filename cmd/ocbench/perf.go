@@ -201,21 +201,25 @@ func runPerf(cfg scc.Config, effort int) error {
 	return nil
 }
 
-// runPerfVerify is the observability overhead gate: it re-measures the
+// runPerfVerify is the hot-path performance gate: it re-measures the
 // BenchmarkEngineThroughput workload (one 96-CL OC-Bcast k=7 on 48
 // cores, tracing disabled — the nil-sink path) and compares it against
-// the committed BENCH_simperf.json baseline. Three checks, strictest
-// first:
+// the committed BENCH_simperf.json baseline. Checks, strictest first:
 //
 //   - simulated_us_bcast must match exactly (simulated time is part of
 //     the golden contract; tracing off must be byte-identical);
-//   - allocs_per_bcast must stay within allocMaxPct (allocation counts
-//     are deterministic, so this is the machine-independent proxy for
-//     hot-path overhead; the 2% default is the PR-2 discipline);
-//   - bcast_ms_per_sim must stay within wallMaxPct (wall clock varies
-//     across machines, so this looser gate only catches gross
-//     regressions).
-func runPerfVerify(cfg scc.Config, allocMaxPct, wallMaxPct float64) error {
+//   - allocs_per_bcast must stay within allocMaxPct of the baseline
+//     (allocation counts are deterministic, so this is the
+//     machine-independent proxy for hot-path overhead; the 2% default
+//     is the PR-2 discipline) AND under the absolute allocCap budget
+//     (the allocation-free-hot-path contract: a warmed broadcast must
+//     never again approach the seed's ~2268 allocations);
+//   - bcast_ms_per_sim must stay within wallMaxPct, and simulations/sec
+//     must stay above floorPct of the baseline's bcast_sims_per_sec
+//     (wall clock varies across machines, so these loose gates only
+//     catch gross regressions — the floor default tolerates a 2x
+//     slower CI host but fails on an order-of-magnitude collapse).
+func runPerfVerify(cfg scc.Config, allocMaxPct, wallMaxPct, allocCap, floorPct float64) error {
 	raw, err := os.ReadFile(perfFile)
 	if err != nil {
 		return fmt.Errorf("perf -verify: %w (run `ocbench perf` first)", err)
@@ -244,18 +248,29 @@ func runPerfVerify(cfg scc.Config, allocMaxPct, wallMaxPct float64) error {
 	}
 	msPerSim := time.Since(t0).Seconds() * 1e3 / float64(iters)
 
+	simsPerSec := 1e3 / msPerSim
 	allocPct := 100 * (allocs - base.AllocsPerBcast) / base.AllocsPerBcast
 	wallPct := 100 * (msPerSim - base.BcastMsPerSim) / base.BcastMsPerSim
-	fmt.Printf("perf -verify: %.0f allocs/sim (baseline %.1f, %+.2f%%, gate ±%.0f%%), %.2f ms/sim (baseline %.2f, %+.1f%%, gate +%.0f%%)\n",
-		allocs, base.AllocsPerBcast, allocPct, allocMaxPct,
-		msPerSim, base.BcastMsPerSim, wallPct, wallMaxPct)
+	floor := base.BcastSimsPerSec * floorPct / 100
+	fmt.Printf("perf -verify: %.0f allocs/sim (baseline %.1f, %+.2f%%, gate ±%.0f%% and <=%.0f), %.2f ms/sim (baseline %.2f, %+.1f%%, gate +%.0f%%), %.1f sims/s (floor %.1f = %.0f%% of baseline %.1f)\n",
+		allocs, base.AllocsPerBcast, allocPct, allocMaxPct, allocCap,
+		msPerSim, base.BcastMsPerSim, wallPct, wallMaxPct,
+		simsPerSec, floor, floorPct, base.BcastSimsPerSec)
 	if math.Abs(allocPct) > allocMaxPct {
 		return fmt.Errorf("perf -verify: allocations per simulation changed %+.2f%% (gate ±%.0f%%): the nil-sink hot path regressed",
 			allocPct, allocMaxPct)
 	}
+	if allocs > allocCap {
+		return fmt.Errorf("perf -verify: %.0f allocations per simulation over the absolute budget %.0f: per-op allocation crept back into the hot path",
+			allocs, allocCap)
+	}
 	if wallPct > wallMaxPct {
 		return fmt.Errorf("perf -verify: wall clock per simulation %+.1f%% over baseline (gate +%.0f%%)",
 			wallPct, wallMaxPct)
+	}
+	if base.BcastSimsPerSec > 0 && simsPerSec < floor {
+		return fmt.Errorf("perf -verify: %.1f simulations/s below the floor %.1f (%.0f%% of the %.1f baseline)",
+			simsPerSec, floor, floorPct, base.BcastSimsPerSec)
 	}
 	return nil
 }

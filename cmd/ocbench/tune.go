@@ -70,7 +70,7 @@ func patchPerfFile(sections map[string]any) error {
 func runTune(cfg scc.Config, effort int, regretMax float64) error {
 	base := occore.DefaultConfig()
 	for _, topo := range harness.CrossoverMeshes(effort) {
-		plan := algsel.Tune(cfg.Params, topo, topo.NumCores(), base)
+		plan := algsel.TuneCached(cfg.Params, topo, topo.NumCores(), base)
 		fmt.Print(plan)
 	}
 

@@ -3,6 +3,7 @@ package algsel
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/model"
@@ -200,6 +201,49 @@ func tuneBands(m model.Model, topo scc.Topology, p int, cands []candidate) []Ban
 	}
 	_, lastLat := best(m, topo, p, cands, MaxTuneLines)
 	return append(bands, Band{MaxLines: MaxTuneLines, Choice: prevWin, PredictedUs: lastLat.Microseconds()})
+}
+
+// planKey identifies one Tune invocation exactly: every input that can
+// change the decision table. Topology is reduced to its fingerprint
+// string because it is not comparable; Params and core.Config are value
+// types.
+type planKey struct {
+	params scc.Params
+	topo   string
+	p      int
+	base   core.Config
+}
+
+var planCache = struct {
+	mu sync.Mutex
+	m  map[planKey]*Plan
+}{m: make(map[planKey]*Plan)}
+
+// TuneCached is Tune behind a process-wide memo: repeated calls with
+// the same (params, topology, core count, base config) return one
+// shared *Plan instead of re-running the full grid-and-bisection sweep
+// (~tens of milliseconds per call). Tune is deterministic, so the
+// cached plan is byte-identical to a fresh one; callers must treat the
+// returned plan as read-only, since concurrent harness shards share it.
+// Tuning runs outside the cache lock, so two shards racing on a cold
+// key duplicate the work once and agree on the result.
+func TuneCached(params scc.Params, topo scc.Topology, p int, base core.Config) *Plan {
+	key := planKey{params: params, topo: topo.Fingerprint(), p: p, base: base}
+	planCache.mu.Lock()
+	pl, ok := planCache.m[key]
+	planCache.mu.Unlock()
+	if ok {
+		return pl
+	}
+	pl = Tune(params, topo, p, base)
+	planCache.mu.Lock()
+	if prior, ok := planCache.m[key]; ok {
+		pl = prior // keep the first-published plan so all callers alias one
+	} else {
+		planCache.m[key] = pl
+	}
+	planCache.mu.Unlock()
+	return pl
 }
 
 // Choose looks up the planned choice for an operation at a message size.

@@ -43,7 +43,8 @@ func measureCollective(cfg scc.Config, variant string, k, n, lines, reps int, re
 	if reps <= 0 {
 		reps = 3
 	}
-	chip := rma.NewChipN(cfg, n)
+	chip := rma.AcquireChipN(cfg, n)
+	defer rma.ReleaseChip(chip)
 
 	// Every core contributes a distinct payload per repetition.
 	msgBytes := lines * scc.CacheLine

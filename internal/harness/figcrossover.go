@@ -31,7 +31,8 @@ func MeasureAlg(cfg scc.Config, a *algsel.Algorithm, ch algsel.Choice, n, lines,
 	if reps <= 0 {
 		reps = 3
 	}
-	chip := rma.NewChipN(cfg, n)
+	chip := rma.AcquireChipN(cfg, n)
+	defer rma.ReleaseChip(chip)
 
 	// A repetition region holds the op's full working set: n blocks for
 	// the rooted/allgather layouts plus one block of slack.
@@ -164,7 +165,7 @@ func CrossoverSweep(cfg scc.Config, effort int) []CrossoverPoint {
 		cfg2 := cfg
 		cfg2.Topo = c.topo
 		p := c.topo.NumCores()
-		plan := algsel.Tune(cfg.Params, c.topo, p, base)
+		plan := algsel.TuneCached(cfg.Params, c.topo, p, base)
 		pt := CrossoverPoint{Topo: c.topo, Op: c.op, Lines: c.lines}
 		auto, ok := plan.Choose(c.op, c.lines)
 		if !ok {

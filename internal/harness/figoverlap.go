@@ -36,7 +36,8 @@ type OverlapCell struct {
 // last core holding both the allreduce result and its finished compute.
 // ComputeUs of 0 measures the bare collective.
 func MeasureOverlap(cfg scc.Config, n int, cell OverlapCell) float64 {
-	chip := rma.NewChipN(cfg, n)
+	chip := rma.AcquireChipN(cfg, n)
+	defer rma.ReleaseChip(chip)
 	msgBytes := cell.Lines * scc.CacheLine
 	for c := 0; c < n; c++ {
 		payload := make([]byte, msgBytes)

@@ -1,0 +1,29 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/scc"
+	"repro/internal/sim"
+)
+
+// TestGoldenHandoffVsClassic re-runs the light golden points with the
+// direct-handoff scheduler force-disabled: the classic two-hop scheduler
+// must reproduce the exact same simulated latencies, byte for byte. With
+// the knob restored, the same points are re-checked in handoff mode, so
+// one test pins both directions of the equivalence.
+func TestGoldenHandoffVsClassic(t *testing.T) {
+	cfg := scc.DefaultConfig()
+	run := func(t *testing.T) {
+		for _, pt := range goldenPoints(cfg) {
+			if pt.heavy {
+				continue
+			}
+			checkGolden(t, pt.name, pt.run(), pt.want)
+		}
+	}
+	prev := sim.SetDirectHandoff(false)
+	t.Run("classic", run)
+	sim.SetDirectHandoff(prev)
+	t.Run("handoff", run)
+}

@@ -37,7 +37,8 @@ func MeasureBcast(cfg scc.Config, alg Alg, n, lines, reps int) []float64 {
 	if reps <= 0 {
 		reps = 5
 	}
-	chip := rma.NewChipN(cfg, n)
+	chip := rma.AcquireChipN(cfg, n)
+	defer rma.ReleaseChip(chip)
 
 	// Pre-stage every repetition's payload at a fresh offset.
 	msgBytes := lines * scc.CacheLine

@@ -50,13 +50,47 @@ type MPB struct {
 	// contention point measured in Figure 4.
 	Port *sim.Resource
 
-	// lastAccess tracks when each remote core last touched this MPB's
-	// port, for the active-accessor count that drives the §3.3
-	// beyond-the-knee contention penalty.
-	lastAccess map[int]sim.Time
+	// lastAccess tracks when each core last touched this MPB's port
+	// (accessNever = not yet), for the active-accessor count that drives
+	// the §3.3 beyond-the-knee contention penalty. Indexed by core id
+	// and grown on demand: a flat scan of a few dozen entries beats the
+	// map iteration this used to be on the per-op hot path.
+	lastAccess []sim.Time
 	// accessLog keeps each core's access timestamps within the trailing
 	// window, to measure how *sustained* its pressure on the port is.
-	accessLog map[int][]sim.Time
+	accessLog [][]sim.Time
+
+	// wait is the reusable wait condition for WaitU64*: in this codebase
+	// only the MPB's owner ever waits on its own MPB (flag waits are
+	// local polls), so one embedded record suffices; a concurrent second
+	// waiter falls back to a one-shot closure.
+	wait u64Wait
+}
+
+// Wait-comparison selectors for the closure-free WaitU64 variants.
+const (
+	waitPred uint8 = iota // arbitrary predicate (allocates a closure)
+	waitGE                // value ≥ threshold
+	waitEQ                // value == threshold
+)
+
+// u64Wait is an MPB's embedded flag-wait condition. Reusing it across
+// waits keeps the steady-state block path allocation-free; the fields
+// are rewritten per wait and the record is released when the process
+// wakes.
+type u64Wait struct {
+	m      *MPB
+	p      *sim.Proc
+	line   int
+	op     uint8
+	val    uint64
+	pred   func(uint64) bool
+	active bool
+}
+
+func (w *u64Wait) Holds() bool {
+	_, ok := w.m.satisfiedAt(w.line, w.p.Now(), w.op, w.val, w.pred)
+	return ok
 }
 
 // pendingExtent is one not-yet-folded bulk write of n consecutive lines
@@ -109,13 +143,24 @@ func NewMPB(e *sim.Engine, owner, lines int, readSvc sim.Duration) *MPB {
 		panic(fmt.Sprintf("mem: MPB[%d] capacity %d lines must be positive", owner, lines))
 	}
 	return &MPB{
-		owner:      owner,
-		lines:      lines,
-		eng:        e,
-		data:       make([]byte, lines*scc.CacheLine),
-		Port:       sim.NewResource(fmt.Sprintf("mpb[%d]", owner), readSvc),
-		lastAccess: make(map[int]sim.Time),
-		accessLog:  make(map[int][]sim.Time),
+		owner: owner,
+		lines: lines,
+		eng:   e,
+		data:  make([]byte, lines*scc.CacheLine),
+		Port:  sim.NewResource(fmt.Sprintf("mpb[%d]", owner), readSvc),
+	}
+}
+
+// accessNever marks a core that has not touched this MPB's port. It is
+// far enough below any simulated time that last+window arithmetic
+// cannot reach a real timestamp.
+const accessNever = sim.Time(-1 << 60)
+
+// accessSlot ensures the access-tracking slices cover core.
+func (m *MPB) accessSlot(core int) {
+	for len(m.lastAccess) <= core {
+		m.lastAccess = append(m.lastAccess, accessNever)
+		m.accessLog = append(m.accessLog, nil)
 	}
 }
 
@@ -125,6 +170,7 @@ func NewMPB(e *sim.Engine, owner, lines int, readSvc sim.Duration) *MPB {
 // penalty: a single burst (one OC-Bcast chunk) is not sustained; Figure
 // 4's back-to-back loops are.
 func (m *MPB) NoteAccess(core int, t sim.Time, window sim.Duration) int {
+	m.accessSlot(core)
 	m.lastAccess[core] = t
 	log := m.accessLog[core]
 	i := 0
@@ -145,11 +191,9 @@ func (m *MPB) NoteAccess(core int, t sim.Time, window sim.Duration) int {
 // contention knee.
 func (m *MPB) ActiveAccessors(t sim.Time, window sim.Duration) int {
 	n := 0
-	for core, last := range m.lastAccess {
-		if last+window >= t {
+	for _, last := range m.lastAccess {
+		if last != accessNever && last+window >= t {
 			n++
-		} else {
-			delete(m.lastAccess, core)
 		}
 	}
 	return n
@@ -282,13 +326,17 @@ func (m *MPB) ReadLinesInto(dst []byte, line0, n int, t0 sim.Time, stride sim.Du
 	}
 	m.checkLine(line0)
 	m.checkLine(line0 + n - 1)
-	t := t0
-	for i := 0; i < n; i++ {
-		line := line0 + i
-		m.settle(line, t)
-		copy(dst[i*scc.CacheLine:(i+1)*scc.CacheLine], m.data[line*scc.CacheLine:])
-		t += stride
+	// Settling a line only writes that line's bytes, so settling the
+	// whole range first and copying once is identical to interleaving —
+	// and replaces n 32-byte copies with a single memmove.
+	if len(m.pending) > 0 {
+		t := t0
+		for i := 0; i < n; i++ {
+			m.settle(line0+i, t)
+			t += stride
+		}
 	}
+	copy(dst[:n*scc.CacheLine], m.data[line0*scc.CacheLine:(line0+n)*scc.CacheLine])
 }
 
 // WriteLine stores 32 bytes into a line with effective time eff and
@@ -318,11 +366,10 @@ func (m *MPB) WriteLines(line0 int, src []byte, n int, eff0 sim.Time, stride sim
 	x.stride = stride
 	copy(x.data, src[:n*scc.CacheLine])
 	m.pending = append(m.pending, x)
-	eff := eff0
-	for i := 0; i < n; i++ {
-		m.eng.Signal(m.watchKey(line0+i), eff)
-		eff += stride
-	}
+	// One coalesced fan-out for the whole extent: the engine stops the
+	// scan as soon as no process is blocked, so a wide bulk write costs
+	// O(1) instead of n watcher-map probes.
+	m.eng.SignalRange(m.owner, line0, n, eff0, stride)
 }
 
 // PeekU64 reads the first 8 bytes of a line as a little-endian uint64 as
@@ -370,12 +417,25 @@ func (m *MPB) ProbeU64(line int, t sim.Time) uint64 {
 	return m.peekU64At(line, t)
 }
 
-// satisfiedAt returns the earliest time ≥ now at which pred holds for the
-// line's leading uint64, considering the settled state and pending writes
-// in effective-time order. ok is false if no current or pending state
-// satisfies pred.
-func (m *MPB) satisfiedAt(line int, now sim.Time, pred func(uint64) bool) (sim.Time, bool) {
-	if pred(m.peekU64At(line, now)) {
+// holdsOp evaluates one wait comparison: the GE/EQ fast forms compare
+// inline (no closure anywhere on their path); waitPred defers to pred.
+func holdsOp(v uint64, op uint8, val uint64, pred func(uint64) bool) bool {
+	switch op {
+	case waitGE:
+		return v >= val
+	case waitEQ:
+		return v == val
+	default:
+		return pred(v)
+	}
+}
+
+// satisfiedAt returns the earliest time ≥ now at which the (op, val,
+// pred) comparison holds for the line's leading uint64, considering the
+// settled state and pending writes in effective-time order. ok is false
+// if no current or pending state satisfies it.
+func (m *MPB) satisfiedAt(line int, now sim.Time, op uint8, val uint64, pred func(uint64) bool) (sim.Time, bool) {
+	if holdsOp(m.peekU64At(line, now), op, val, pred) {
 		return now, true
 	}
 	for _, x := range m.pending {
@@ -386,7 +446,7 @@ func (m *MPB) satisfiedAt(line int, now sim.Time, pred func(uint64) bool) (sim.T
 		if eff <= now {
 			continue // already folded into peekU64At(now)
 		}
-		if pred(m.peekU64At(line, eff)) {
+		if holdsOp(m.peekU64At(line, eff), op, val, pred) {
 			return eff, true
 		}
 	}
@@ -399,17 +459,71 @@ func (m *MPB) satisfiedAt(line int, now sim.Time, pred func(uint64) bool) (sim.T
 // the process sleeps instead of burning virtual time spinning — matching
 // the paper's assumption that no time elapses between a flag being set
 // and observed, up to the final poll read the caller charges separately.
+//
+// Sequence-number waits should use WaitU64GE/WaitU64EQ, which skip the
+// per-call predicate closure.
 func (m *MPB) WaitU64(p *sim.Proc, line int, pred func(uint64) bool) {
+	m.waitOp(p, line, waitPred, 0, pred)
+}
+
+// WaitU64GE blocks until the line's leading uint64 is ≥ val. The whole
+// path is closure-free: the comparison is carried as (op, val) scalars
+// in the MPB's embedded wait record.
+func (m *MPB) WaitU64GE(p *sim.Proc, line int, val uint64) {
+	m.waitOp(p, line, waitGE, val, nil)
+}
+
+// WaitU64EQ blocks until the line's leading uint64 is == val (the
+// RCCE-style handshake wait), closure-free like WaitU64GE.
+func (m *MPB) WaitU64EQ(p *sim.Proc, line int, val uint64) {
+	m.waitOp(p, line, waitEQ, val, nil)
+}
+
+func (m *MPB) waitOp(p *sim.Proc, line int, op uint8, val uint64, pred func(uint64) bool) {
 	m.checkLine(line)
 	key := m.watchKey(line)
 	for {
-		if te, ok := m.satisfiedAt(line, p.Now(), pred); ok {
+		if te, ok := m.satisfiedAt(line, p.Now(), op, val, pred); ok {
 			p.AdvanceTo(te)
 			return
 		}
-		p.Block(key, func() bool {
-			_, ok := m.satisfiedAt(line, p.Now(), pred)
-			return ok
-		})
+		w := &m.wait
+		if w.active {
+			// A second process is already parked on this MPB through the
+			// embedded record (not a path the RCCE layers take); fall
+			// back to a one-shot condition.
+			p.Block(key, func() bool {
+				_, ok := m.satisfiedAt(line, p.Now(), op, val, pred)
+				return ok
+			})
+			continue
+		}
+		w.m, w.p, w.line, w.op, w.val, w.pred = m, p, line, op, val, pred
+		w.active = true
+		p.BlockCond(key, w)
+		w.active = false
+		w.pred = nil
 	}
+}
+
+// Reset returns the MPB to its freshly constructed state — zeroed lines,
+// no pending writes, idle port, empty access history — while keeping
+// every warm buffer: extent records and their line buffers move to the
+// free list, access-log slices are truncated in place, and map buckets
+// survive, so a pooled chip's next simulation allocates nothing here.
+func (m *MPB) Reset() {
+	for i := range m.data {
+		m.data[i] = 0
+	}
+	for i, x := range m.pending {
+		m.recycle(x)
+		m.pending[i] = nil
+	}
+	m.pending = m.pending[:0]
+	m.Port.Reset()
+	for i := range m.lastAccess {
+		m.lastAccess[i] = accessNever
+		m.accessLog[i] = m.accessLog[i][:0]
+	}
+	m.wait = u64Wait{}
 }

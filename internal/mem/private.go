@@ -2,6 +2,7 @@ package mem
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/scc"
 )
@@ -16,7 +17,15 @@ import (
 // every core of the chip.
 type Private struct {
 	owner int
-	pages map[int]*page
+	// pages is indexed by page number and grown on demand (nil = never
+	// written, reads as zeros). A flat slice keeps the per-op page
+	// lookup off the map hash path.
+	pages []*page
+	// dirty lists the page indices written since construction or the
+	// last Reset, so Reset zeroes only the bytes a run actually touched
+	// instead of every page ever allocated (a pooled chip accumulates
+	// pages from all its past runs).
+	dirty []int
 }
 
 // pageBytes is the demand-allocation granularity. 8 KiB keeps the
@@ -27,11 +36,14 @@ const pageBytes = 8 * 1024
 
 type page struct {
 	data [pageBytes]byte
+	// dirty marks the page as written since the last Reset (it is then
+	// listed in Private.dirty exactly once).
+	dirty bool
 }
 
 // NewPrivate creates core owner's private memory.
 func NewPrivate(owner int) *Private {
-	return &Private{owner: owner, pages: make(map[int]*page)}
+	return &Private{owner: owner}
 }
 
 // Owner reports the core id owning this memory.
@@ -52,7 +64,11 @@ func (p *Private) Read(dst []byte, addr, n int) {
 		if c > n {
 			c = n
 		}
-		if pp := p.pages[pg]; pp != nil {
+		var pp *page
+		if pg < len(p.pages) {
+			pp = p.pages[pg]
+		}
+		if pp != nil {
 			copy(dst[:c], pp.data[off:off+c])
 		} else {
 			for i := 0; i < c; i++ {
@@ -70,10 +86,17 @@ func (p *Private) Write(addr int, src []byte) {
 	p.check(addr, len(src))
 	for len(src) > 0 {
 		pg, off := addr/pageBytes, addr%pageBytes
+		for len(p.pages) <= pg {
+			p.pages = append(p.pages, nil)
+		}
 		pp := p.pages[pg]
 		if pp == nil {
 			pp = &page{}
 			p.pages[pg] = pp
+		}
+		if !pp.dirty {
+			pp.dirty = true
+			p.dirty = append(p.dirty, pg)
 		}
 		c := copy(pp.data[off:], src)
 		src = src[c:]
@@ -93,8 +116,10 @@ func (p *Private) Write(addr int, src []byte) {
 // instead of once per map insert.
 type Cache struct {
 	enabled bool
-	pages   map[int]*cachePage
-	n       int
+	// pages is indexed by residency-page number, grown on demand like
+	// Private.pages.
+	pages []*cachePage
+	n     int
 }
 
 // cacheLinesPerPage is the number of cache lines covered by one residency
@@ -109,14 +134,18 @@ type cachePage struct {
 // misses, which is the configuration used for OC-Bcast-only studies
 // (OC-Bcast gets no benefit from it either way — see DESIGN.md §4.3).
 func NewCache(enabled bool) *Cache {
-	return &Cache{enabled: enabled, pages: make(map[int]*cachePage)}
+	return &Cache{enabled: enabled}
 }
 
 func (c *Cache) page(line int) *cachePage {
-	pg := c.pages[line/cacheLinesPerPage]
+	i := line / cacheLinesPerPage
+	for len(c.pages) <= i {
+		c.pages = append(c.pages, nil)
+	}
+	pg := c.pages[i]
 	if pg == nil {
 		pg = &cachePage{}
-		c.pages[line/cacheLinesPerPage] = pg
+		c.pages[i] = pg
 	}
 	return pg
 }
@@ -124,6 +153,40 @@ func (c *Cache) page(line int) *cachePage {
 // Touch marks the cache line containing addr as resident.
 func (c *Cache) Touch(addr int) {
 	c.Hit(addr)
+}
+
+// TouchRange marks the n consecutive cache lines starting at addr as
+// resident — equivalent to n Touch calls, but it holds each residency
+// page once and sets whole bitmap words, so a bulk RMA op's write
+// allocation costs a handful of word ORs instead of n lookups.
+func (c *Cache) TouchRange(addr, n int) {
+	if !c.enabled || n <= 0 {
+		return
+	}
+	line := addr / scc.CacheLine
+	end := line + n
+	for line < end {
+		pg := c.page(line)
+		i := line % cacheLinesPerPage
+		span := cacheLinesPerPage - i
+		if end-line < span {
+			span = end - line
+		}
+		line += span
+		for span > 0 {
+			w, b := i/64, i%64
+			cnt := 64 - b
+			if cnt > span {
+				cnt = span
+			}
+			mask := ^uint64(0) >> (64 - cnt) << b
+			old := pg.bits[w]
+			pg.bits[w] = old | mask
+			c.n += bits.OnesCount64(mask &^ old)
+			i += cnt
+			span -= cnt
+		}
+	}
 }
 
 // Hit reports whether the line containing addr is resident, and touches it.
@@ -146,10 +209,28 @@ func (c *Cache) Hit(addr int) bool {
 // steady-state measurement loop stops allocating.
 func (c *Cache) Flush() {
 	for _, pg := range c.pages {
-		pg.bits = [cacheLinesPerPage / 64]uint64{}
+		if pg != nil {
+			pg.bits = [cacheLinesPerPage / 64]uint64{}
+		}
 	}
 	c.n = 0
 }
 
 // Len reports the number of resident lines (for tests).
 func (c *Cache) Len() int { return c.n }
+
+// Reset zeroes the memory while keeping the demand-allocated pages: a
+// read of a never-written address yields zero either way, so a reset
+// memory is indistinguishable from a fresh one, and a pooled chip's
+// next simulation reuses the pages instead of faulting them back in.
+// Only pages written since the last Reset are zeroed (the rest are
+// already all-zero), so the cost scales with the run's footprint, not
+// the chip's high-water mark.
+func (p *Private) Reset() {
+	for _, pg := range p.dirty {
+		pp := p.pages[pg]
+		pp.data = [pageBytes]byte{}
+		pp.dirty = false
+	}
+	p.dirty = p.dirty[:0]
+}

@@ -139,6 +139,12 @@ type Collectives struct {
 	reqs     []*Request
 	nissued  uint64
 	finished bool
+
+	// freeReqs recycles completed request frames — the struct and its
+	// resume/yield channel pair — so a loop of collectives stops
+	// allocating per issue (the protocol goroutine itself is respawned;
+	// exited goroutines are cheap, parked ones would pin the chip).
+	freeReqs []*Request
 }
 
 // New prepares one-sided collective state for one core. It panics on a

@@ -110,11 +110,8 @@ func (x *Collectives) issue(op string, root, addr, lines int, run func(l *lane, 
 		// same issue index — so all cores still agree on lane contents.
 		l.req.drive()
 	}
-	r := &Request{
-		x: x, op: op, lane: l,
-		resume: make(chan struct{}),
-		yield:  make(chan struct{}),
-	}
+	r := x.newRequest()
+	r.x, r.op, r.lane = x, op, l
 	if o := x.core.Obs(); o != nil {
 		r.obsID = o.AsyncID()
 		o.AsyncBegin(r.obsID, x.core.ID(), int64(x.core.Now()), "occoll", op,
@@ -133,15 +130,46 @@ func (x *Collectives) issue(op string, root, addr, lines int, run func(l *lane, 
 	return r
 }
 
+// newRequest returns a recycled request frame when one is free, else a
+// fresh one with its resume/yield channel pair. Recycled frames are
+// zeroed except for the channels; the caller fills x/op/lane.
+func (x *Collectives) newRequest() *Request {
+	if n := len(x.freeReqs); n > 0 {
+		r := x.freeReqs[n-1]
+		x.freeReqs[n-1] = nil
+		x.freeReqs = x.freeReqs[:n-1]
+		*r = Request{resume: r.resume, yield: r.yield}
+		return r
+	}
+	return &Request{
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+	}
+}
+
+// reqFreeListMax bounds the free list; a serial issue/Wait loop keeps it
+// at one or two entries, so anything beyond a few lanes' worth is churn
+// from an unusual burst and is left to the garbage collector.
+const reqFreeListMax = 16
+
 // compactReqs drops fully finished requests — protocol done AND handle
 // consumed — from the outstanding list, bounding it by the number of
-// requests still in flight or awaiting their Wait/Test. Done-but-
-// unconsumed requests are kept so Finish can flag them as leaked.
+// requests still in flight or awaiting their Wait/Test, and recycles
+// the dropped frames. Done-but-unconsumed requests are kept so Finish
+// can flag them as leaked.
+//
+// A recycled frame means a stale handle kept across a later issue
+// aliases the new request, so the double-completion panic in
+// checkUsable is only guaranteed until the core's next issue; the
+// request contract (a handle is dead after its Wait or true Test)
+// already forbids such use.
 func (x *Collectives) compactReqs() {
 	live := x.reqs[:0]
 	for _, r := range x.reqs {
 		if !r.done || !r.consumed {
 			live = append(live, r)
+		} else if r.resume != nil && len(x.freeReqs) < reqFreeListMax {
+			x.freeReqs = append(x.freeReqs, r)
 		}
 	}
 	for i := len(live); i < len(x.reqs); i++ {

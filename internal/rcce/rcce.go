@@ -95,7 +95,7 @@ func (p *Port) Send(dst int, addr, lines int) {
 		p.core.SetFlag(dst, lineSent, tag(me, seq))
 		// Wait for the consumption ack before overwriting the buffer.
 		want := tag(dst, seq)
-		p.core.WaitFlag(lineReady, func(v uint64) bool { return v == want })
+		p.core.WaitFlagEQ(lineReady, want)
 	}
 }
 
@@ -116,7 +116,7 @@ func (p *Port) Recv(src int, addr, lines int) {
 		p.recvSeq[src]++
 		seq := p.recvSeq[src]
 		want := tag(src, seq)
-		p.core.WaitFlag(lineSent, func(v uint64) bool { return v == want })
+		p.core.WaitFlagEQ(lineSent, want)
 		p.core.GetMPBToMem(src, 0, addr+off*scc.CacheLine, m)
 		p.core.SetFlag(src, lineReady, tag(me, seq))
 	}
@@ -140,7 +140,7 @@ func (p *Port) GrantTurn(peer int) {
 func (p *Port) AwaitTurn(peer int) {
 	p.turnWait[peer]++
 	want := turnTag(peer, p.turnWait[peer])
-	p.core.WaitFlag(lineReady, func(v uint64) bool { return v == want })
+	p.core.WaitFlagEQ(lineReady, want)
 }
 
 func checkMsg(addr, lines int) {
@@ -189,14 +189,14 @@ func (p *Port) SendRecv(dst, sendAddr, sendLines, src, recvAddr, recvLines int) 
 			}
 			p.recvSeq[src]++
 			want := tag(src, p.recvSeq[src])
-			p.core.WaitFlag(lineSent, func(v uint64) bool { return v == want })
+			p.core.WaitFlagEQ(lineSent, want)
 			p.core.GetMPBToMem(src, 0, recvAddr+recvOff*scc.CacheLine, m)
 			p.core.SetFlag(src, lineReady, tag(me, p.recvSeq[src]))
 			recvOff += m
 		}
 		if staged {
 			want := tag(dst, seq)
-			p.core.WaitFlag(lineReady, func(v uint64) bool { return v == want })
+			p.core.WaitFlagEQ(lineReady, want)
 		}
 	}
 }

@@ -1,0 +1,40 @@
+package rma_test
+
+import (
+	"testing"
+
+	"repro/internal/rma"
+	"repro/internal/scc"
+)
+
+// TestBulkExtentAllocFree pins the bulk RMA data path: on a warmed
+// pooled chip, a full Reset+Run cycle of put/get traffic — extents,
+// scratch staging, port reservations, flag signals — performs zero heap
+// allocations.
+func TestBulkExtentAllocFree(t *testing.T) {
+	cfg := scc.DefaultConfig()
+	chip := rma.AcquireChipN(cfg, 4)
+	defer rma.ReleaseChip(chip)
+
+	body := func(c *rma.Core) {
+		if c.ID() == 0 {
+			for rep := 0; rep < 4; rep++ {
+				c.PutMPBToMPB(1, 0, 0, 16)
+				c.PutMemToMPB(2, 0, 0, 16)
+				c.SetFlag(3, 40, uint64(rep+1))
+			}
+		} else if c.ID() == 3 {
+			c.WaitFlagGE(40, 4)
+		}
+	}
+	chip.Run(body) // warm scratch buffers, extents, watcher list
+	allocs := testing.AllocsPerRun(20, func() {
+		if !chip.Reset() {
+			t.Fatal("Reset refused")
+		}
+		chip.Run(body)
+	})
+	if allocs > 0 {
+		t.Errorf("warmed bulk-RMA Reset+Run allocates %.1f times per cycle, want 0", allocs)
+	}
+}

@@ -30,6 +30,22 @@ type Chip struct {
 	Counter []trace.CoreCounters
 	ipi     []ipiState
 
+	// cores are the reusable per-proc handles Run passes to its body:
+	// one Core per proc, re-pointed each Run, so a reset chip's next
+	// simulation reuses each core's scratch and run-list buffers.
+	cores []Core
+	// runBody/runWrap let Run hand the engine one long-lived adapter
+	// closure instead of allocating a fresh one per simulation.
+	runBody func(core *Core)
+	runWrap func(p *sim.Proc)
+
+	// coords and memDist precompute each core's tile coordinate and
+	// controller hop distance: every RMA op consults them (often several
+	// times), and the div/mod chains behind Topology.CoreCoord showed up
+	// as ~10% of hot-path CPU before caching.
+	coords  []scc.Coord
+	memDist []int
+
 	// obs, when non-nil, receives the op-level timeline (put/get/flag
 	// spans, compute spans). Nil means tracing is off.
 	obs *obs.Recorder
@@ -62,6 +78,12 @@ func NewChipN(cfg scc.Config, n int) *Chip {
 		caches:  make([]*mem.Cache, n),
 		Counter: make([]trace.CoreCounters, n),
 		ipi:     make([]ipiState, n),
+		coords:  make([]scc.Coord, n),
+		memDist: make([]int, n),
+	}
+	for i := 0; i < n; i++ {
+		c.coords[i] = topo.CoreCoord(i)
+		c.memDist[i] = topo.MemDistance(i)
 	}
 	for i := 0; i < n; i++ {
 		c.mpbs[i] = mem.NewMPB(c.Engine, i, topo.MPBLines, cfg.Contention.ReadSvc)
@@ -134,12 +156,50 @@ func (c *Chip) FlushCaches() {
 	}
 }
 
-// Run executes body on every core concurrently in virtual time. Each Chip
-// supports a single Run; construct a fresh Chip per simulation.
+// Run executes body on every core concurrently in virtual time. A Chip
+// supports one Run per construction or Reset; use AcquireChipN /
+// ReleaseChip (or Reset directly) to reuse a chip across simulations.
 func (c *Chip) Run(body func(core *Core)) {
-	c.Engine.Run(func(p *sim.Proc) {
-		body(&Core{chip: c, proc: p, id: p.ID()})
-	})
+	if c.cores == nil {
+		c.cores = make([]Core, c.NCores)
+	}
+	if c.runWrap == nil {
+		c.runWrap = func(p *sim.Proc) {
+			core := &c.cores[p.ID()]
+			core.chip, core.proc, core.id = c, p, p.ID()
+			c.runBody(core)
+		}
+	}
+	c.runBody = body
+	c.Engine.Run(c.runWrap)
+	c.runBody = nil
+}
+
+// Reset returns a cleanly completed (or never-run) chip to its freshly
+// constructed state — zeroed memories, caches, counters and interrupt
+// queues — while keeping every warm buffer, so the next Run allocates
+// almost nothing. It reports false (and does nothing) when the chip is
+// mid-run or its last Run panicked; such a chip must be discarded.
+func (c *Chip) Reset() bool {
+	if !c.Engine.Reset() {
+		return false
+	}
+	for i := 0; i < c.NCores; i++ {
+		c.mpbs[i].Reset()
+		c.privs[i].Reset()
+		c.caches[i].Flush()
+		c.Counter[i] = trace.CoreCounters{}
+		st := &c.ipi[i]
+		st.deliveries = st.deliveries[:0]
+		st.consumed = 0
+	}
+	if c.mesh != nil {
+		// Detailed-NoC link servers carry reservation state; rebuilding
+		// is simplest and that mode is off on every hot path.
+		c.mesh = noc.NewMesh(c.topo, c.Cfg.LinkSvc)
+	}
+	c.obs = nil
+	return true
 }
 
 // Core is a per-process handle exposing the RMA primitives. It is only
@@ -216,12 +276,15 @@ func (c *Core) endSpan(o *obs.Recorder) {
 // counters returns the core's counter record.
 func (c *Core) counters() *trace.CoreCounters { return &c.chip.Counter[c.id] }
 
-// coord is this core's tile coordinate; coordOf is any core's.
-func (c *Core) coord() scc.Coord           { return c.chip.topo.CoreCoord(c.id) }
-func (c *Core) coordOf(core int) scc.Coord { return c.chip.topo.CoreCoord(core) }
+// coord is this core's tile coordinate; coordOf is any core's. Both are
+// precomputed per chip.
+func (c *Core) coord() scc.Coord           { return c.chip.coords[c.id] }
+func (c *Core) coordOf(core int) scc.Coord { return c.chip.coords[core] }
 
 // distMPB is the hop distance from this core to core dst's MPB.
-func (c *Core) distMPB(dst int) int { return c.chip.topo.CoreDistance(c.id, dst) }
+func (c *Core) distMPB(dst int) int {
+	return scc.HopDistance(c.chip.coords[c.id], c.chip.coords[dst])
+}
 
 // distMem is the hop distance from this core to its memory controller.
-func (c *Core) distMem() int { return c.chip.topo.MemDistance(c.id) }
+func (c *Core) distMem() int { return c.chip.memDist[c.id] }

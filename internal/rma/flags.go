@@ -3,6 +3,7 @@ package rma
 import (
 	"encoding/binary"
 
+	"repro/internal/mem"
 	"repro/internal/obs"
 	"repro/internal/scc"
 	"repro/internal/sim"
@@ -63,12 +64,41 @@ func (c *Core) ReadFlag(src, line int) uint64 {
 // pred, then charges one local read C^mpb_r(1) — the final successful
 // poll. Earlier unsuccessful polls cost no virtual time, matching the
 // paper's modelling assumption that flag checking overlaps the wait.
+// Sequence-number comparisons should use WaitFlagGE/WaitFlagEQ, whose
+// wait path allocates nothing.
 func (c *Core) WaitFlag(line int, pred func(uint64) bool) uint64 {
 	// The span opens before the wait so blocked time lands in its bucket.
 	o := c.beginSpan("flag.wait", obs.BucketWait,
 		obs.Arg{Key: "line", Val: int64(line)}, obs.Arg{})
 	own := c.chip.MPB(c.id)
 	own.WaitU64(c.proc, line, pred)
+	return c.finishFlagWait(o, own, line)
+}
+
+// WaitFlagGE blocks until the flag is ≥ seq (the common case: flags carry
+// monotonically increasing chunk sequence numbers). The comparison rides
+// in the MPB's reusable wait record — no closure per call.
+func (c *Core) WaitFlagGE(line int, seq uint64) uint64 {
+	o := c.beginSpan("flag.wait", obs.BucketWait,
+		obs.Arg{Key: "line", Val: int64(line)}, obs.Arg{})
+	own := c.chip.MPB(c.id)
+	own.WaitU64GE(c.proc, line, seq)
+	return c.finishFlagWait(o, own, line)
+}
+
+// WaitFlagEQ blocks until the flag is exactly seq — the RCCE handshake
+// wait — with the same closure-free path as WaitFlagGE.
+func (c *Core) WaitFlagEQ(line int, seq uint64) uint64 {
+	o := c.beginSpan("flag.wait", obs.BucketWait,
+		obs.Arg{Key: "line", Val: int64(line)}, obs.Arg{})
+	own := c.chip.MPB(c.id)
+	own.WaitU64EQ(c.proc, line, seq)
+	return c.finishFlagWait(o, own, line)
+}
+
+// finishFlagWait charges the final successful poll read and closes the
+// wait span: the common epilogue of every WaitFlag variant.
+func (c *Core) finishFlagWait(o *obs.Recorder, own *mem.MPB, line int) uint64 {
 	c.proc.Advance(c.CMpbR(1))
 	v := own.PeekU64(line, c.Now())
 	ctr := c.counters()
@@ -76,12 +106,6 @@ func (c *Core) WaitFlag(line int, pred func(uint64) bool) uint64 {
 	ctr.FlagWaits++
 	c.endSpan(o)
 	return v
-}
-
-// WaitFlagGE blocks until the flag is ≥ seq (the common case: flags carry
-// monotonically increasing chunk sequence numbers).
-func (c *Core) WaitFlagGE(line int, seq uint64) uint64 {
-	return c.WaitFlag(line, func(v uint64) bool { return v >= seq })
 }
 
 // TryFlagGE polls the flag in this core's own MPB line once, without

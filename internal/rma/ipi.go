@@ -57,9 +57,9 @@ func (c *Core) WaitIPI() sim.Time {
 			c.endSpan(o)
 			return c.Now()
 		}
-		c.proc.Block(key, func() bool {
-			return st.consumed < len(st.deliveries)
-		})
+		// ipiState is its own Cond, and only the owning core waits on
+		// it, so the block path allocates nothing.
+		c.proc.BlockCond(key, st)
 	}
 }
 
@@ -77,10 +77,14 @@ func (c *Core) PendingIPIs() int {
 }
 
 // ipiState tracks one core's interrupt deliveries in delivery order.
+// It doubles as the owning core's wait condition (sim.Cond).
 type ipiState struct {
 	deliveries []sim.Time
 	consumed   int
 }
+
+// Holds reports an unconsumed delivery — the WaitIPI wake condition.
+func (st *ipiState) Holds() bool { return st.consumed < len(st.deliveries) }
 
 // PutLine writes a full 32-byte line into core dst's MPB — a 1-line put
 // with a register/immediate source, like SetFlag but carrying arbitrary

@@ -365,9 +365,7 @@ func (c *Core) GetMPBToMem(src, srcLine, dstAddr, m int) {
 	buf := c.scratchBuf(m * scc.CacheLine)
 	rem.ReadLinesInto(buf, srcLine, m, read0, step)
 	priv.Write(dstAddr, buf)
-	for i := 0; i < m; i++ {
-		cache.Touch(dstAddr + i*scc.CacheLine)
-	}
+	cache.TouchRange(dstAddr, m)
 	t := t0 + p.OMemGet + sim.Duration(m)*step
 	c.finishOp(t, srcPort, sim.Duration(d)*p.Lhop, mesh)
 	ctr := c.counters()

@@ -1,6 +1,9 @@
 package scc
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+)
 
 // Topology is the chip geometry as a first-class value: a w×h tile mesh
 // with a fixed number of cores per tile, a per-core MPB share, and the
@@ -182,4 +185,26 @@ func (t Topology) XYPath(src, dst Coord) []Link {
 		cur = next
 	}
 	return path
+}
+
+// Fingerprint returns a compact string identifying the topology exactly
+// — geometry, per-tile cores, MPB share, and controller placement. It
+// serves as a map key for caches keyed on topology, which Topology
+// itself cannot be (Controllers is a slice).
+func (t Topology) Fingerprint() string {
+	b := make([]byte, 0, 32)
+	b = strconv.AppendInt(b, int64(t.W), 10)
+	b = append(b, 'x')
+	b = strconv.AppendInt(b, int64(t.H), 10)
+	b = append(b, 't')
+	b = strconv.AppendInt(b, int64(t.TileCores), 10)
+	b = append(b, 'm')
+	b = strconv.AppendInt(b, int64(t.MPBLines), 10)
+	for _, c := range t.Controllers {
+		b = append(b, ',')
+		b = strconv.AppendInt(b, int64(c.X), 10)
+		b = append(b, '.')
+		b = strconv.AppendInt(b, int64(c.Y), 10)
+	}
+	return string(b)
 }

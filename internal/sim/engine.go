@@ -8,32 +8,136 @@ import (
 	"repro/internal/obs"
 )
 
+// directHandoff is the package-wide default for newly created (or Reset)
+// engines: when true, a yielding process transfers control straight to
+// the next runnable process in one channel operation; when false, every
+// switch bounces through the engine goroutine (the classic two-hop
+// scheduler). Both modes admit processes in exactly the same (clock, id)
+// order — SetDirectHandoff exists so the equivalence suite can prove it.
+var directHandoff = true
+
+// SetDirectHandoff sets the scheduling mode every engine latches at the
+// start of its next Run (pooled engines included) and returns the
+// previous setting. Simulated timings are identical either way; only
+// wall-clock cost differs. It is a test knob, not a tuning parameter —
+// do not flip it concurrently with running simulations.
+func SetDirectHandoff(enabled bool) (prev bool) {
+	prev = directHandoff
+	directHandoff = enabled
+	return prev
+}
+
 // Engine is a deterministic virtual-time scheduler for a fixed set of
 // processes. It is single-threaded from the simulation's point of view:
 // although each process is a goroutine, exactly one runs at any instant,
-// and the engine always picks the runnable process with the smallest
+// and the scheduler always picks the runnable process with the smallest
 // virtual clock (ties broken by process id). Writes to simulated memory
 // are therefore applied in global time order.
+//
+// Scheduling uses direct handoff: the process that yields picks the next
+// runnable process off the run queue itself and passes the control token
+// in a single channel send, so a switch costs one goroutine wakeup
+// instead of a round-trip through a central goroutine. The engine
+// goroutine (the caller of Run) only arbitrates the cases a yielding
+// process cannot decide alone: an empty run queue (termination or
+// deadlock) and panic unwinding.
 type Engine struct {
-	procs    []*Proc
-	started  bool
-	finished int
+	procs     []*Proc
+	started   bool
+	completed bool // last Run finished cleanly; required by Reset
+	finished  int
+
+	// handoff selects direct proc-to-proc control transfer (see
+	// SetDirectHandoff); latched from the package default at the start
+	// of every Run, so a pooled engine follows the current test knob no
+	// matter when it was built or reset.
+	handoff bool
+
+	// persistent makes process goroutines park between runs instead of
+	// exiting after one body (see SetPersistent). Only pooled engines
+	// opt in: a parked goroutine pins its engine in memory forever, so
+	// persistence is safe only under an owner that bounds engine count
+	// and calls Shutdown before dropping one.
+	persistent bool
+	// spawned means persistent goroutines are live (parked on their
+	// resume channels between runs).
+	spawned bool
+
+	// engch returns the control token to the engine goroutine. In
+	// handoff mode it carries nil and is used only when the run queue is
+	// empty (termination/deadlock) or a process panicked; in classic
+	// mode every yield sends the yielding process through it.
+	engch chan *Proc
+
+	// body is the current Run's process body; persistent process
+	// goroutines read it after being resumed.
+	body func(*Proc)
 
 	// runq holds every runnable process except the one currently
-	// executing its step, keyed on (clock, id). The heap is maintained
+	// executing, keyed on (clock, id). The heap is maintained
 	// incrementally: start and unblock push, the scheduler pops, and a
 	// process that blocks or finishes simply is not pushed back.
 	runq runQueue
 
-	// watchers maps a watch key to the processes blocked on it.
-	watchers map[WatchKey][]*blockedProc
+	// watchers lists every blocked process with the key it waits on. At
+	// most one entry exists per process, so the list never exceeds N and
+	// a linear scan (two int compares per entry, no hashing) beats the
+	// watch-key map this used to be. Registration order is preserved on
+	// removal, so wake order matches the old per-key slices.
+	watchers []watcherEntry
 
 	// obs, when non-nil, receives scheduling events (block/wake/done
 	// instants) and supplies deadlock context. Nil means tracing is off;
 	// every emission site guards on that.
 	obs *obs.Recorder
 
+	// switches counts slow-path context switches (yields that could not
+	// take the keepRunning fast path) across the engine's lifetime. Both
+	// scheduling modes produce the same count for the same workload — the
+	// equivalence tests assert exactly that — and the number is the
+	// scheduler's wall-clock cost driver, so benchmarks report it.
+	switches int64
+
 	panicVal any // re-panicked on Run if a process panicked
+}
+
+// Switches reports the cumulative number of slow-path context switches
+// (not elided by the same-proc fast path) since the engine was created.
+// Reset does not clear it; callers diff before/after a Run.
+func (e *Engine) Switches() int64 { return e.switches }
+
+// SetPersistent selects whether process goroutines park between runs
+// (true) or exit after each run (false, the default). Parking makes a
+// Reset+Run cycle skip 1 goroutine spawn per process, but a parked
+// goroutine is a GC root that pins the whole engine, so only owners
+// that bound how many engines exist — the chip pool — should opt in,
+// and they must call Shutdown before dropping the engine. It must not
+// be called while persistent goroutines are parked (Shutdown first).
+func (e *Engine) SetPersistent(on bool) {
+	if e.spawned && !on {
+		panic("sim: SetPersistent(false) with parked goroutines; call Shutdown first")
+	}
+	e.persistent = on
+}
+
+// Shutdown wakes and exits the parked goroutines of a persistent
+// engine so it can be garbage-collected. It is a no-op if nothing is
+// parked, and refuses (returning false) for an engine abandoned
+// mid-run or after a panic — its goroutines are parked at arbitrary
+// yield points and cannot be released; such an engine must simply be
+// dropped, accepting the pinned memory, as a panicked run already is.
+func (e *Engine) Shutdown() bool {
+	if !e.spawned {
+		return true
+	}
+	if e.started && !e.completed {
+		return false
+	}
+	for _, p := range e.procs {
+		p.resume <- true
+	}
+	e.spawned = false
+	return true
 }
 
 // WatchKey identifies a condition a process can block on. Memory
@@ -46,18 +150,41 @@ type WatchKey struct {
 	Line int
 }
 
+// Cond is a block condition evaluated on Signal. Implementations that
+// are reused across blocks (e.g. a buffer embedded in the waiting
+// structure) keep the steady-state block path allocation-free; Block
+// wraps plain closures for callers that don't care.
+type Cond interface {
+	// Holds reports whether the condition is now satisfied.
+	Holds() bool
+}
+
+// condFunc adapts a plain predicate closure to Cond.
+type condFunc func() bool
+
+func (f condFunc) Holds() bool { return f() }
+
 type blockedProc struct {
 	p    *Proc
-	pred func() bool
+	cond Cond
 	// wake is the earliest virtual time the process may resume
 	// (typically the effective time of the write that satisfied the
 	// predicate).
 	wake Time
 }
 
+// watcherEntry pairs a blocked process's record with its watch key.
+type watcherEntry struct {
+	key WatchKey
+	b   *blockedProc
+}
+
 // NewEngine creates an engine with n processes whose ids are 0..n-1.
 func NewEngine(n int) *Engine {
-	e := &Engine{watchers: make(map[WatchKey][]*blockedProc)}
+	e := &Engine{
+		engch:   make(chan *Proc),
+		handoff: directHandoff,
+	}
 	e.procs = make([]*Proc, n)
 	for i := range e.procs {
 		e.procs[i] = newProc(e, i)
@@ -81,41 +208,87 @@ func (e *Engine) Proc(i int) *Proc { return e.procs[i] }
 // Run executes body(p) on every process concurrently in virtual time and
 // returns when all processes have finished. It panics if the simulation
 // deadlocks (some process blocked forever) or if any process panics.
+//
+// After a clean Run, Reset re-arms the engine for another; calling Run
+// again without Reset panics.
 func (e *Engine) Run(body func(p *Proc)) {
 	if e.started {
-		panic("sim: Engine.Run called twice; create a new Engine per run")
+		panic("sim: Engine.Run called twice; Reset the engine (or create a new one) between runs")
 	}
 	e.started = true
+	e.handoff = directHandoff
+	e.body = body
+	if !e.spawned {
+		for _, p := range e.procs {
+			p.spawn()
+		}
+		e.spawned = e.persistent
+	}
 	for _, p := range e.procs {
-		p.start(body)
+		p.state = stateRunnable
 		e.runq.push(p)
 	}
 	e.loop()
+	e.body = nil
 	if e.panicVal != nil {
 		panic(e.panicVal)
 	}
+	e.completed = true
 }
 
-// loop drives the scheduler until every process has finished. Each step
-// pops the runnable process with the smallest (clock, id) off the run
-// queue in O(log n); the process runs until it yields, and is pushed back
-// only if it is still runnable (it may instead have blocked — in which
-// case a later Signal re-queues it — or finished).
+// Reset re-arms a cleanly completed engine for another Run, keeping
+// every warm structure — process goroutines (parked on their resume
+// channels), the run-queue array, and the watcher map with its drained
+// per-key slices — so repeated simulations allocate nothing in the
+// scheduler. It reports false (and does nothing) if the engine is
+// mid-run or its last Run panicked: such an engine has goroutines parked
+// at arbitrary points and must be abandoned.
+func (e *Engine) Reset() bool {
+	if e.started && !e.completed {
+		return false
+	}
+	e.started = false
+	e.completed = false
+	e.finished = 0
+	e.panicVal = nil
+	e.obs = nil
+	for i := range e.watchers {
+		e.watchers[i] = watcherEntry{}
+	}
+	e.watchers = e.watchers[:0]
+	for _, p := range e.procs {
+		p.now = 0
+		p.state = stateNew
+		p.heapIdx = -1
+		p.blockRec.cond = nil
+		p.blockRec.wake = 0
+	}
+	return true
+}
+
+// loop drives the scheduler until every process has finished. It pops
+// the earliest runnable process, hands it the control token, and waits
+// for the token to come back on engch. In handoff mode the token
+// circulates among the processes themselves and returns only for
+// termination, deadlock arbitration, or panic unwinding; in classic mode
+// it returns after every step (y is then the process that just yielded,
+// re-queued here if still runnable).
 func (e *Engine) loop() {
 	for e.finished < len(e.procs) {
 		p := e.runq.pop()
 		if p == nil {
 			e.reportDeadlock()
 		}
-		p.step()
+		p.resume <- false
+		y := <-e.engch
 		if e.panicVal != nil {
-			// Unblock remains: tear down by abandoning; goroutines
-			// blocked on resume channels are garbage once the engine
-			// is dropped (they hold no OS resources).
+			// Tear down by abandoning; goroutines parked on resume
+			// channels are garbage once the engine is dropped (they
+			// hold no OS resources).
 			return
 		}
-		if p.state == stateRunnable {
-			e.runq.push(p)
+		if y != nil && y.state == stateRunnable {
+			e.runq.push(y)
 		}
 	}
 }
@@ -124,38 +297,60 @@ func (e *Engine) loop() {
 // predicate now holds become runnable no earlier than at time at.
 // Memory implementations call this after applying a write.
 func (e *Engine) Signal(key WatchKey, at Time) {
-	blocked := e.watchers[key]
-	if len(blocked) == 0 {
+	if len(e.watchers) == 0 {
 		return
 	}
-	remaining := blocked[:0]
-	for _, b := range blocked {
-		if b.pred() {
-			if b.wake < at {
-				b.wake = at
-			}
-			b.pred = nil // release the closure; the record is reused
-			b.p.unblock(b.wake)
-		} else {
-			remaining = append(remaining, b)
-		}
-	}
-	if len(remaining) == 0 {
-		delete(e.watchers, key)
-	} else {
-		e.watchers[key] = remaining
-	}
+	e.signalScan(key.Space, key.Line, 1, at, 0)
 }
 
-// addWatcher registers p as blocked on key with the given predicate. A
+// SignalRange signals n consecutive line keys of one space, where line
+// line0+i's write becomes effective at eff0+i·stride — the watcher
+// fan-out of one bulk write extent, coalesced into a single scan of the
+// blocked-process list. Each blocked process is woken at most once (a
+// process blocks on a single key), and a wide extent costs one pass
+// regardless of n — O(1) when nobody is waiting at all.
+func (e *Engine) SignalRange(space, line0, n int, eff0 Time, stride Duration) {
+	if len(e.watchers) == 0 {
+		return
+	}
+	e.signalScan(space, line0, n, eff0, stride)
+}
+
+// signalScan wakes every process blocked on a key inside the signalled
+// line range whose condition now holds, compacting the watcher list in
+// place (registration order preserved).
+func (e *Engine) signalScan(space, line0, n int, eff0 Time, stride Duration) {
+	remaining := e.watchers[:0]
+	for _, w := range e.watchers {
+		if w.key.Space == space && w.key.Line >= line0 && w.key.Line < line0+n {
+			b := w.b
+			if b.cond.Holds() {
+				at := eff0 + Duration(w.key.Line-line0)*stride
+				if b.wake < at {
+					b.wake = at
+				}
+				b.cond = nil // release the condition; the record is reused
+				b.p.unblock(b.wake)
+				continue
+			}
+		}
+		remaining = append(remaining, w)
+	}
+	for i := len(remaining); i < len(e.watchers); i++ {
+		e.watchers[i] = watcherEntry{}
+	}
+	e.watchers = remaining
+}
+
+// addWatcher registers p as blocked on key with the given condition. A
 // process blocks on at most one key at a time and its watcher entry is
 // removed exactly when it is woken, so the record embedded in the Proc
-// can be reused — no allocation per block.
-func (e *Engine) addWatcher(key WatchKey, p *Proc, pred func() bool) {
+// can be reused — no allocation per block once the list has grown.
+func (e *Engine) addWatcher(key WatchKey, p *Proc, cond Cond) {
 	p.blockRec.p = p
-	p.blockRec.pred = pred
+	p.blockRec.cond = cond
 	p.blockRec.wake = p.now
-	e.watchers[key] = append(e.watchers[key], &p.blockRec)
+	e.watchers = append(e.watchers, watcherEntry{key: key, b: &p.blockRec})
 }
 
 // reportDeadlock panics with a description of all blocked processes.

@@ -1,0 +1,194 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The direct-handoff scheduler and the classic two-hop scheduler must
+// produce the same schedule — not approximately, but event for event.
+// These tests drive both modes over randomized workloads and compare
+// full execution traces.
+
+// stressEv is one observation of the running process: who ran, at what
+// virtual time, at which step of its body.
+type stressEv struct {
+	id   int
+	now  Time
+	step int
+}
+
+// runStress executes a randomized run-queue workload — procs advancing
+// by random (frequently tying) durations and blocking on each other
+// through watch keys — and returns the full serialized execution trace
+// plus the engine's slow-path switch count.
+func runStress(seed int64, nproc, steps int, handoff bool) ([]stressEv, int64) {
+	prev := SetDirectHandoff(handoff)
+	defer SetDirectHandoff(prev)
+
+	e := NewEngine(nproc)
+	var trace []stressEv
+	// vals[i] counts proc i's completed steps; procs block on a
+	// neighbor reaching a threshold, exercising Signal/watcher paths.
+	vals := make([]uint64, nproc)
+	e.Run(func(p *Proc) {
+		rng := rand.New(rand.NewSource(seed + int64(p.ID())*7919))
+		for s := 0; s < steps; s++ {
+			// Small durations (often zero) force clock ties so the
+			// (clock, id) tiebreak is exercised constantly.
+			p.Advance(Duration(rng.Intn(5)))
+			trace = append(trace, stressEv{id: p.ID(), now: p.now, step: s})
+			vals[p.ID()]++
+			e.Signal(WatchKey{Space: 0, Line: p.ID()}, p.now)
+			if s%8 == 3 {
+				// Wait for the next proc to pass our progress — a
+				// rendezvous that is always eventually satisfied.
+				peer := (p.ID() + 1) % nproc
+				want := vals[p.ID()] - 1
+				if want > uint64(steps) {
+					want = uint64(steps)
+				}
+				p.Block(WatchKey{Space: 0, Line: peer}, func() bool {
+					return vals[peer] >= want
+				})
+			}
+		}
+	})
+	return trace, e.Switches()
+}
+
+// TestHandoffClassicEquivalence asserts the two scheduling modes yield
+// identical traces (same procs, same clocks, same order) and the same
+// slow-path switch count across randomized workloads.
+func TestHandoffClassicEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		ht, hs := runStress(seed, 9, 120, true)
+		ct, cs := runStress(seed, 9, 120, false)
+		if len(ht) != len(ct) {
+			t.Fatalf("seed %d: trace length %d (handoff) vs %d (classic)", seed, len(ht), len(ct))
+		}
+		for i := range ht {
+			if ht[i] != ct[i] {
+				t.Fatalf("seed %d: trace diverges at event %d: %+v (handoff) vs %+v (classic)",
+					seed, i, ht[i], ct[i])
+			}
+		}
+		if hs != cs {
+			t.Errorf("seed %d: switch count %d (handoff) vs %d (classic)", seed, hs, cs)
+		}
+	}
+}
+
+// TestHandoffDeterminism asserts the handoff scheduler is reproducible
+// run-to-run for the same seed.
+func TestHandoffDeterminism(t *testing.T) {
+	a, _ := runStress(42, 7, 100, true)
+	b, _ := runStress(42, 7, 100, true)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trace diverges at event %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestClassicModeDeadlockAndPanic re-runs the failure-path contracts
+// under the classic scheduler, which routes every yield through the
+// engine goroutine.
+func TestClassicModeDeadlockAndPanic(t *testing.T) {
+	prev := SetDirectHandoff(false)
+	defer SetDirectHandoff(prev)
+
+	func() {
+		defer func() {
+			if r := recover(); r == nil {
+				t.Error("classic mode: deadlock not detected")
+			}
+		}()
+		e := NewEngine(2)
+		e.Run(func(p *Proc) {
+			if p.ID() == 0 {
+				p.Block(WatchKey{Space: 1, Line: 1}, func() bool { return false })
+			}
+		})
+	}()
+
+	func() {
+		defer func() {
+			if r := recover(); r != "boom" {
+				t.Errorf("classic mode: panic = %v, want boom", r)
+			}
+		}()
+		e := NewEngine(3)
+		e.Run(func(p *Proc) {
+			p.Advance(Duration(p.ID()))
+			if p.ID() == 1 {
+				panic("boom")
+			}
+		})
+	}()
+}
+
+// TestPersistentEngineReuse pins the pooled-engine lifecycle: parked
+// goroutines across Reset/Run cycles, identical behavior to a fresh
+// engine, and a clean Shutdown.
+func TestPersistentEngineReuse(t *testing.T) {
+	e := NewEngine(5)
+	e.SetPersistent(true)
+	body := func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			p.Advance(Duration(1 + p.ID()))
+		}
+	}
+	var finals [3][]Time
+	for run := 0; run < 3; run++ {
+		if run > 0 && !e.Reset() {
+			t.Fatal("Reset refused on a cleanly completed engine")
+		}
+		e.Run(body)
+		for _, p := range e.procs {
+			finals[run] = append(finals[run], p.now)
+		}
+	}
+	for run := 1; run < 3; run++ {
+		for i := range finals[0] {
+			if finals[run][i] != finals[0][i] {
+				t.Errorf("run %d proc %d final clock %v, want %v", run, i, finals[run][i], finals[0][i])
+			}
+		}
+	}
+	if !e.Shutdown() {
+		t.Error("Shutdown refused on an idle persistent engine")
+	}
+	// After Shutdown the engine spawns fresh goroutines and still works.
+	if !e.Reset() {
+		t.Fatal("Reset refused after Shutdown")
+	}
+	e.Run(body)
+	if !e.Shutdown() {
+		t.Error("second Shutdown refused")
+	}
+}
+
+// TestAdvanceYieldAllocFree pins the scheduler hot path: on a warmed
+// persistent engine, a full Reset+Run cycle of pure Advance traffic
+// performs zero heap allocations.
+func TestAdvanceYieldAllocFree(t *testing.T) {
+	e := NewEngine(4)
+	e.SetPersistent(true)
+	defer e.Shutdown()
+	body := func(p *Proc) {
+		for i := 0; i < 50; i++ {
+			p.Advance(Duration(1 + (p.ID()+i)%3))
+		}
+	}
+	e.Run(body) // warm: spawn goroutines, grow the run-queue heap
+	allocs := testing.AllocsPerRun(20, func() {
+		if !e.Reset() {
+			t.Fatal("Reset refused")
+		}
+		e.Run(body)
+	})
+	if allocs > 0 {
+		t.Errorf("Reset+Run of a warmed persistent engine allocates %.1f times per cycle, want 0", allocs)
+	}
+}

@@ -14,6 +14,10 @@ const (
 // Proc is one simulated processor: a goroutine whose execution is
 // serialized by the engine in virtual-time order. All methods must be
 // called from within the process's own body function.
+//
+// The goroutine normally exits when the body finishes and is re-spawned
+// by the next Run; on a persistent engine (the chip pool's) it instead
+// parks on the resume channel between runs — see spawn.
 type Proc struct {
 	id    int
 	eng   *Engine
@@ -29,8 +33,13 @@ type Proc struct {
 	// removed from the watcher list exactly when the process wakes.
 	blockRec blockedProc
 
-	resume chan struct{} // engine -> proc: you may run
-	yield  chan struct{} // proc -> engine: my step is done
+	// resume delivers the control token to this process: exactly one
+	// process (or the engine goroutine) holds the token at any time, and
+	// whoever holds it sends here to make this process the one running.
+	// The payload is the stop flag: true tells a parked persistent
+	// goroutine to exit (Shutdown) and is carried in the token itself so
+	// no flag read can race with the next run's spawns.
+	resume chan bool
 }
 
 func newProc(e *Engine, id int) *Proc {
@@ -39,8 +48,7 @@ func newProc(e *Engine, id int) *Proc {
 		eng:     e,
 		state:   stateNew,
 		heapIdx: -1,
-		resume:  make(chan struct{}),
-		yield:   make(chan struct{}),
+		resume:  make(chan bool),
 	}
 }
 
@@ -53,52 +61,115 @@ func (p *Proc) Now() Time { return p.now }
 // Engine returns the engine driving this process.
 func (p *Proc) Engine() *Engine { return p.eng }
 
-// start launches the process goroutine. The goroutine waits for its first
-// resume before executing body.
-func (p *Proc) start(body func(*Proc)) {
-	p.state = stateRunnable
+// spawn launches the process goroutine. By default it exits when the
+// body finishes rather than parking for the next run: a goroutine
+// blocked on a channel is a GC root that is never collected, so parked
+// procs would pin their engine — and the whole chip hanging off it —
+// in memory for every engine the program ever discards. Run re-spawns
+// instead; the runtime recycles exited goroutines' g structs and
+// stacks, so a spawn costs far less than the leak would.
+//
+// A persistent engine (SetPersistent, used by the bounded chip pool)
+// loops back to park instead, skipping the respawn and the body's
+// first-call stack growth on every pooled rerun; Shutdown wakes the
+// parked goroutines with a true stop token so they can exit.
+func (p *Proc) spawn() {
 	go func() {
-		<-p.resume
-		defer func() {
-			if r := recover(); r != nil {
-				p.eng.panicVal = r
+		for {
+			if stop := <-p.resume; stop {
+				return
 			}
-			if o := p.eng.obs; o != nil {
-				// The done instant pins the core's final clock on its
-				// track; attribution uses it as the core's total.
-				o.Instant(p.id, int64(p.now), "sim", "done", obs.Arg{}, obs.Arg{})
+			p.runBody()
+			if !p.eng.persistent {
+				return
 			}
-			p.state = stateDone
-			p.eng.finished++
-			p.yield <- struct{}{}
-		}()
-		body(p)
+		}
 	}()
 }
 
-// step lets the process run until it yields (advances time, blocks, or
-// finishes).
-func (p *Proc) step() {
-	p.resume <- struct{}{}
-	<-p.yield
+// runBody executes one simulation's body and releases the control token
+// when it finishes (normally or by panic). The done instant, state flip
+// and finished count run in a deferred function so a panicking body is
+// still accounted for before the engine goroutine is notified.
+func (p *Proc) runBody() {
+	defer func() {
+		r := recover()
+		if r != nil {
+			p.eng.panicVal = r
+		}
+		if o := p.eng.obs; o != nil {
+			// The done instant pins the core's final clock on its
+			// track; attribution uses it as the core's total.
+			o.Instant(p.id, int64(p.now), "sim", "done", obs.Arg{}, obs.Arg{})
+		}
+		p.state = stateDone
+		p.eng.finished++
+		if r != nil || !p.eng.handoff {
+			// Panic unwinding (any mode) and classic-mode finishes hand
+			// the token to the engine goroutine.
+			p.eng.engch <- nil
+		} else {
+			p.passControl()
+		}
+	}()
+	p.eng.body(p)
 }
 
-// doYield returns control to the engine and waits to be resumed.
-//
-// Fast path: if the process is still runnable and still strictly first in
-// (clock, id) order among all runnable processes, the engine would hand
-// control straight back — so skip the channel round-trip (two goroutine
-// switches) and keep running. The schedule is byte-identical; only the
-// bookkeeping is elided.
-func (p *Proc) doYield() {
-	if p.state == stateRunnable {
-		q := &p.eng.runq
-		if len(q.heap) == 0 || q.less(p, q.heap[0]) {
-			return
-		}
+// keepRunning reports whether p — which must be the currently running
+// process — is still strictly first in (clock, id) order among all
+// runnable processes. If so the scheduler would hand control straight
+// back, so the switch is elided entirely: same schedule, zero channel
+// operations. The comparison uses the run queue's cached top key, not
+// heap[0] itself, so the fast path touches no heap memory.
+func (p *Proc) keepRunning() bool {
+	if p.state != stateRunnable {
+		return false
 	}
-	p.yield <- struct{}{}
+	q := &p.eng.runq
+	return len(q.heap) == 0 || p.now < q.topNow || (p.now == q.topNow && p.id < q.topID)
+}
+
+// doYield returns control to the scheduler and waits to be resumed,
+// unless the fast path shows this process would be chosen again anyway.
+func (p *Proc) doYield() {
+	if p.keepRunning() {
+		return
+	}
+	p.slowYield()
+}
+
+// slowYield relinquishes the control token and parks until it comes
+// back. In direct-handoff mode the yielding process re-queues itself
+// (if still runnable), pops the next runnable process and sends the
+// token straight to it — one channel operation per switch. Process ids
+// are unique, so after a failed keepRunning check the queue's top is
+// strictly ahead of p and the pop can never return p itself. In classic
+// mode the token goes back to the engine goroutine, which re-queues and
+// re-pops centrally (two channel operations per switch).
+func (p *Proc) slowYield() {
+	e := p.eng
+	e.switches++
+	if e.handoff {
+		if p.state == stateRunnable {
+			e.runq.push(p)
+		}
+		p.passControl()
+	} else {
+		e.engch <- p
+	}
 	<-p.resume
+}
+
+// passControl sends the control token to the next runnable process, or
+// to the engine goroutine when the run queue is empty (the engine then
+// arbitrates termination vs deadlock).
+func (p *Proc) passControl() {
+	e := p.eng
+	if next := e.runq.pop(); next != nil {
+		next.resume <- false
+	} else {
+		e.engch <- nil
+	}
 }
 
 // Advance moves the process's clock forward by d and yields so the engine
@@ -120,22 +191,48 @@ func (p *Proc) AdvanceTo(t Time) {
 }
 
 // Block suspends the process until pred() holds for the given watch key.
-// The predicate is evaluated immediately; if it already holds the process
-// merely yields. Otherwise the process sleeps until a Signal on key finds
-// the predicate true, and resumes no earlier than the signalling write's
-// effective time. Block returns the process's clock after waking.
+// The predicate is evaluated immediately; if it already holds the
+// process yields only when another process is due first — the same fast
+// path doYield uses, so a satisfied wait on an idle schedule costs no
+// channel operations. Otherwise the process sleeps until a Signal on key
+// finds the predicate true, and resumes no earlier than the signalling
+// write's effective time. Block returns the process's clock after
+// waking.
+//
+// Hot paths that would otherwise allocate a closure per call should use
+// BlockCond with a reusable condition value.
 func (p *Proc) Block(key WatchKey, pred func() bool) Time {
 	if pred() {
-		p.doYield()
+		if !p.keepRunning() {
+			p.slowYield()
+		}
 		return p.now
 	}
+	return p.blockOn(key, condFunc(pred))
+}
+
+// BlockCond is Block with a caller-managed condition: semantics are
+// identical, but the caller may reuse one Cond value across calls, so
+// the steady-state block path allocates nothing.
+func (p *Proc) BlockCond(key WatchKey, cond Cond) Time {
+	if cond.Holds() {
+		if !p.keepRunning() {
+			p.slowYield()
+		}
+		return p.now
+	}
+	return p.blockOn(key, cond)
+}
+
+// blockOn registers the condition and parks until a Signal wakes it.
+func (p *Proc) blockOn(key WatchKey, cond Cond) Time {
 	if o := p.eng.obs; o != nil {
 		o.Instant(p.id, int64(p.now), "sim", "block",
 			obs.Arg{Key: "space", Val: int64(key.Space)}, obs.Arg{Key: "line", Val: int64(key.Line)})
 	}
 	p.state = stateBlocked
-	p.eng.addWatcher(key, p, pred)
-	p.doYield()
+	p.eng.addWatcher(key, p, cond)
+	p.slowYield()
 	if o := p.eng.obs; o != nil {
 		o.Instant(p.id, int64(p.now), "sim", "wake", obs.Arg{}, obs.Arg{})
 	}

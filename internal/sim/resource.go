@@ -106,10 +106,11 @@ func (r *Resource) Stats() (reservations, units int64, busy, queued Duration) {
 	return r.reservations, r.unitsServed, r.busyTime, r.queuedTime
 }
 
-// Reset clears the server's schedule and statistics.
+// Reset clears the server's schedule and statistics, keeping the warm
+// inflight buffer so a pooled chip's reruns stop allocating here.
 func (r *Resource) Reset() {
 	r.free = 0
-	r.inflight = nil
+	r.inflight = r.inflight[:0]
 	r.reservations = 0
 	r.unitsServed = 0
 	r.busyTime = 0

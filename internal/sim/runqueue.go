@@ -11,6 +11,21 @@ package sim
 // and unblock adjusts the clock before the process is pushed back).
 type runQueue struct {
 	heap []*Proc
+
+	// topNow/topID mirror heap[0]'s (clock, id) key whenever the heap is
+	// non-empty. The yield fast path compares against these two scalars
+	// instead of chasing the heap[0] pointer, keeping the hottest branch
+	// free of heap-memory loads.
+	topNow Time
+	topID  int
+}
+
+// cacheTop refreshes the cached top key after a mutation.
+func (q *runQueue) cacheTop() {
+	if len(q.heap) > 0 {
+		q.topNow = q.heap[0].now
+		q.topID = q.heap[0].id
+	}
 }
 
 // less orders the heap by (clock, id) — identical to the former linear
@@ -28,6 +43,7 @@ func (q *runQueue) push(p *Proc) {
 	p.heapIdx = len(q.heap)
 	q.heap = append(q.heap, p)
 	q.siftUp(p.heapIdx)
+	q.cacheTop()
 }
 
 // pop removes and returns the process with the smallest (clock, id), or
@@ -46,6 +62,7 @@ func (q *runQueue) pop() *Proc {
 		q.siftDown(0)
 	}
 	p.heapIdx = -1
+	q.cacheTop()
 	return p
 }
 
