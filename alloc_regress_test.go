@@ -13,6 +13,7 @@ import (
 	occore "repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/scc"
+	"repro/internal/workload"
 )
 
 // TestAllocsPerBroadcastBudget pins the headline number the perf gate
@@ -46,6 +47,38 @@ func TestAllocsPerOverlapRun(t *testing.T) {
 		t.Errorf("warmed overlap run allocates %.0f times, budget 400", allocs)
 	}
 	t.Logf("allocs per warmed overlap run: %.0f", allocs)
+}
+
+// TestAllocsPerReplayBudget pins the replay hot loop: a warmed
+// 1000-record mixed-op replay — every collective family, blocking and
+// overlapped records — on a pooled 8-core chip must stay within the same
+// 500-allocation budget as a single warmed broadcast. The entire
+// per-record path (replayer loop, algorithm dispatch, two-sided
+// handshakes and combines, non-blocking issue/test/wait) is
+// allocation-free in steady state; the budget covers only the per-run
+// fixtures (ports, engines, environments).
+func TestAllocsPerReplayBudget(t *testing.T) {
+	cfg := scc.DefaultConfig()
+	const n, records = 8, 1000
+	ops := workload.Ops()
+	tr := &workload.Trace{}
+	for i := 0; i < records; i++ {
+		r := workload.Record{Op: ops[i%len(ops)], Root: (i * 5) % n, Lines: 1 + i%4}
+		if i%5 == 2 {
+			r.ComputeUs = 3.5
+		}
+		tr.Records = append(tr.Records, r)
+	}
+	if err := tr.ValidateFor(n); err != nil {
+		t.Fatal(err)
+	}
+	run := func() { harness.ReplayChip(cfg, n, tr) }
+	run() // warm the chip pool
+	allocs := testing.AllocsPerRun(3, run)
+	if allocs > 500 {
+		t.Errorf("warmed 1000-record replay allocates %.0f times, budget 500", allocs)
+	}
+	t.Logf("allocs per warmed 1000-record replay: %.0f (%.2f per record)", allocs, allocs/records)
 }
 
 // TestTuneCacheHitAllocs pins the Tune memo: a cache hit is a key build

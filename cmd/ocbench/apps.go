@@ -1,0 +1,110 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+	"repro/internal/scc"
+)
+
+// The apps subcommand replays the synthetic application kernels (SGD,
+// stencil, shuffle — internal/workload) through the public System.Replay
+// under paper-default and "auto" algorithm selection, writes the
+// whole-app speedups into BENCH_simperf.json's "apps" section and fails
+// when auto makes any kernel slower than the defaults (beyond noise).
+// With -verify it re-checks the checked-in section without simulating —
+// the CI gate on whole-application auto-selection quality.
+
+// appCell is one row of the perf file's apps section: one kernel on one
+// mesh under both selection modes.
+type appCell struct {
+	Kernel    string  `json:"kernel"`
+	Mesh      string  `json:"mesh"`
+	Cores     int     `json:"cores"`
+	Records   int     `json:"records"`
+	DefaultUs float64 `json:"default_us"`
+	AutoUs    float64 `json:"auto_us"`
+	Speedup   float64 `json:"speedup"`
+}
+
+// appsSection is BENCH_simperf.json's "apps" value: the checked-in
+// whole-application validation of auto-selection.
+type appsSection struct {
+	// MinSpeedupGate is the threshold the cells were gated against;
+	// MinSpeedup is the worst observed cell.
+	MinSpeedupGate float64   `json:"min_speedup_gate"`
+	MinSpeedup     float64   `json:"min_speedup"`
+	Cells          []appCell `json:"cells"`
+}
+
+// runApps replays the kernel sweep, updates the perf file and gates.
+// minSpeedup is the failure threshold (slightly below 1.0 to absorb
+// noise-level scheduling differences).
+func runApps(cfg scc.Config, effort int, minSpeedup float64) error {
+	pts := harness.AppsSweep(cfg, effort)
+	harness.AppsTable(pts).Fprint(os.Stdout)
+
+	sec := appsSection{MinSpeedupGate: minSpeedup, MinSpeedup: pts[0].Speedup}
+	for _, p := range pts {
+		sec.Cells = append(sec.Cells, appCell{
+			Kernel:    p.Kernel,
+			Mesh:      fmt.Sprintf("%dx%d", p.Topo.W, p.Topo.H),
+			Cores:     p.Topo.NumCores(),
+			Records:   p.Records,
+			DefaultUs: p.DefaultUs,
+			AutoUs:    p.AutoUs,
+			Speedup:   p.Speedup,
+		})
+		if p.Speedup < sec.MinSpeedup {
+			sec.MinSpeedup = p.Speedup
+		}
+	}
+	if err := patchPerfFile(map[string]any{"apps": sec}); err != nil {
+		return err
+	}
+	fmt.Printf("apps: %d cells, min speedup %.3fx (gate %.2fx), wrote %s\n",
+		len(sec.Cells), sec.MinSpeedup, minSpeedup, perfFile)
+	return gateApps(sec, minSpeedup)
+}
+
+// runAppsVerify gates the checked-in apps section without simulating —
+// the cheap CI re-check of the committed table.
+func runAppsVerify(minSpeedup float64) error {
+	raw, err := os.ReadFile(perfFile)
+	if err != nil {
+		return fmt.Errorf("apps -verify: %w (run `ocbench apps` first)", err)
+	}
+	var doc struct {
+		Apps *appsSection `json:"apps"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return fmt.Errorf("apps -verify: %s: %w", perfFile, err)
+	}
+	if doc.Apps == nil || len(doc.Apps.Cells) == 0 {
+		return fmt.Errorf("apps -verify: %s has no apps section (run `ocbench apps`)", perfFile)
+	}
+	fmt.Printf("apps -verify: %d checked-in cells, min speedup %.3fx (gate %.2fx)\n",
+		len(doc.Apps.Cells), doc.Apps.MinSpeedup, minSpeedup)
+	return gateApps(*doc.Apps, minSpeedup)
+}
+
+// gateApps fails when auto-selection makes any kernel slower than the
+// paper-default stacks beyond the noise allowance.
+func gateApps(sec appsSection, minSpeedup float64) error {
+	var bad []appCell
+	for _, c := range sec.Cells {
+		if c.Speedup < minSpeedup {
+			bad = append(bad, c)
+		}
+	}
+	if len(bad) == 0 {
+		return nil
+	}
+	for _, c := range bad {
+		fmt.Fprintf(os.Stderr, "apps: SLOWDOWN %s on %s (%d cores): auto %.2f µs vs default %.2f µs (%.3fx < %.2fx)\n",
+			c.Kernel, c.Mesh, c.Cores, c.AutoUs, c.DefaultUs, c.Speedup, minSpeedup)
+	}
+	return fmt.Errorf("apps: %d kernel cell(s) below the %.2fx whole-app speedup gate", len(bad), minSpeedup)
+}

@@ -12,6 +12,8 @@
 //	ocbench perf                 # wall-clock simulator throughput -> BENCH_simperf.json
 //	ocbench tune                 # decision tables + auto-selection regret -> BENCH_simperf.json
 //	ocbench -verify tune         # gate the checked-in crossover table (CI)
+//	ocbench apps                 # whole-app kernel replay: default vs auto -> BENCH_simperf.json
+//	ocbench -verify apps         # gate the checked-in apps table (CI)
 //	ocbench -verify perf         # hot-path perf gate (allocs + throughput) vs the checked-in baseline (CI)
 //	ocbench trace -op allreduce  # run one traced collective -> Perfetto JSON + text summary
 //
@@ -41,6 +43,7 @@ func main() {
 	wallMax := flag.Float64("wall-max-pct", 50, "perf -verify: max wall-clock-per-simulation slowdown in percent")
 	allocCap := flag.Float64("alloc-cap", 500, "perf -verify: absolute allocs-per-simulation budget")
 	floorPct := flag.Float64("simsps-floor-pct", 50, "perf -verify: min simulations/sec as a percent of the baseline")
+	appsMin := flag.Float64("apps-min-speedup", 0.99, "apps: min whole-app auto/default speedup before failing")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -66,6 +69,7 @@ func main() {
 		}
 		fmt.Printf("  %-10s %s\n", "perf", "wall-clock simulator throughput -> BENCH_simperf.json")
 		fmt.Printf("  %-10s %s\n", "tune", "decision tables + auto-selection regret gate -> BENCH_simperf.json")
+		fmt.Printf("  %-10s %s\n", "apps", "whole-app kernel replay speedup gate -> BENCH_simperf.json")
 		fmt.Printf("  %-10s %s\n", "trace", "run one collective with tracing on -> Perfetto JSON + summary")
 		return
 	case "perf":
@@ -92,6 +96,18 @@ func main() {
 			err = runTuneVerify(*regretMax)
 		} else {
 			err = runTune(cfg, *effort, *regretMax)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	case "apps":
+		err := error(nil)
+		if *verify {
+			err = runAppsVerify(*appsMin)
+		} else {
+			err = runApps(cfg, *effort, *appsMin)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

@@ -208,17 +208,23 @@ func runPerf(cfg scc.Config, effort int) error {
 //
 //   - simulated_us_bcast must match exactly (simulated time is part of
 //     the golden contract; tracing off must be byte-identical);
-//   - allocs_per_bcast must stay within allocMaxPct of the baseline
-//     (allocation counts are deterministic, so this is the
-//     machine-independent proxy for hot-path overhead; the 2% default
-//     is the PR-2 discipline) AND under the absolute allocCap budget
-//     (the allocation-free-hot-path contract: a warmed broadcast must
-//     never again approach the seed's ~2268 allocations);
+//   - allocs_per_bcast must stay within allocMaxPct of the baseline, or
+//     within allocSlackAbs objects of it — now that the warmed path is
+//     down to a dozen allocations, ±2% is less than one object, so a
+//     small absolute slack absorbs runtime jitter (map growth, pool
+//     state) without weakening the relative gate at larger counts — AND
+//     under the absolute allocCap budget (the allocation-free-hot-path
+//     contract: a warmed broadcast must never again approach the seed's
+//     ~2268 allocations);
 //   - bcast_ms_per_sim must stay within wallMaxPct, and simulations/sec
 //     must stay above floorPct of the baseline's bcast_sims_per_sec
 //     (wall clock varies across machines, so these loose gates only
 //     catch gross regressions — the floor default tolerates a 2x
 //     slower CI host but fails on an order-of-magnitude collapse).
+// allocSlackAbs is the absolute allocation jitter runPerfVerify
+// tolerates on top of the relative gate (see its doc comment).
+const allocSlackAbs = 2
+
 func runPerfVerify(cfg scc.Config, allocMaxPct, wallMaxPct, allocCap, floorPct float64) error {
 	raw, err := os.ReadFile(perfFile)
 	if err != nil {
@@ -256,9 +262,9 @@ func runPerfVerify(cfg scc.Config, allocMaxPct, wallMaxPct, allocCap, floorPct f
 		allocs, base.AllocsPerBcast, allocPct, allocMaxPct, allocCap,
 		msPerSim, base.BcastMsPerSim, wallPct, wallMaxPct,
 		simsPerSec, floor, floorPct, base.BcastSimsPerSec)
-	if math.Abs(allocPct) > allocMaxPct {
-		return fmt.Errorf("perf -verify: allocations per simulation changed %+.2f%% (gate ±%.0f%%): the nil-sink hot path regressed",
-			allocPct, allocMaxPct)
+	if math.Abs(allocPct) > allocMaxPct && math.Abs(allocs-base.AllocsPerBcast) > allocSlackAbs {
+		return fmt.Errorf("perf -verify: allocations per simulation changed %+.2f%% (gate ±%.0f%% or ±%.0f objects): the nil-sink hot path regressed",
+			allocPct, allocMaxPct, float64(allocSlackAbs))
 	}
 	if allocs > allocCap {
 		return fmt.Errorf("perf -verify: %.0f allocations per simulation over the absolute budget %.0f: per-op allocation crept back into the hot path",

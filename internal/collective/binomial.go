@@ -16,6 +16,10 @@ import (
 // core inside Chip.Run.
 type Comm struct {
 	port *rcce.Port
+	// combineBuf is the reusable host-side staging buffer for local
+	// reduction combines (grown on demand, never shrunk), keeping the
+	// steady-state collective path allocation-free.
+	combineBuf []byte
 }
 
 // NewComm creates the collective layer over a two-sided port.
@@ -25,6 +29,17 @@ func NewComm(port *rcce.Port) *Comm {
 
 // Port exposes the underlying two-sided port.
 func (c *Comm) Port() *rcce.Port { return c.port }
+
+// combineScratch returns two nbytes-sized staging slices for a local
+// combine, backed by the Comm's reusable buffer. Callers overwrite both
+// slices entirely (private-memory reads) before use.
+func (c *Comm) combineScratch(nbytes int) (mine, theirs []byte) {
+	if cap(c.combineBuf) < 2*nbytes {
+		c.combineBuf = make([]byte, 2*nbytes)
+	}
+	b := c.combineBuf[:2*nbytes]
+	return b[:nbytes], b[nbytes:]
+}
 
 func (c *Comm) checkBcastArgs(root, addr, lines int) (me, p int) {
 	me = c.port.Core().ID()
@@ -50,6 +65,7 @@ func (c *Comm) BcastBinomial(root, addr, lines int) {
 	if p == 1 {
 		return
 	}
+	c.port.SyncShape(rcce.ShapeTree | root)
 	vrank := ((me - root) + p) % p
 
 	// Receive phase: find the bit that links me to my parent.
@@ -81,6 +97,7 @@ func (c *Comm) BcastNaive(root, addr, lines int) {
 	if p == 1 {
 		return
 	}
+	c.port.SyncShape(rcce.ShapeStar | root)
 	if me == root {
 		for i := 1; i < p; i++ {
 			c.port.Send((root+i)%p, addr, lines)

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"repro/internal/rcce"
 	"repro/internal/scc"
 	"repro/internal/sim"
 )
@@ -52,6 +53,7 @@ func (c *Comm) Reduce(root, addr, scratchAddr, lines int, op ReduceOp) {
 	if p == 1 {
 		return
 	}
+	c.port.SyncShape(rcce.ShapeTree | root)
 	core := c.port.Core()
 	chip := core.Chip()
 	vrank := ((me - root) + p) % p
@@ -72,8 +74,7 @@ func (c *Comm) Reduce(root, addr, scratchAddr, lines int, op ReduceOp) {
 			c.port.Recv(src, scratchAddr, lines)
 			// Combine locally. The arithmetic itself is charged as
 			// compute proportional to the data size (one pass).
-			mine := make([]byte, nbytes)
-			theirs := make([]byte, nbytes)
+			mine, theirs := c.combineScratch(nbytes)
 			chip.Private(me).Read(mine, addr, nbytes)
 			chip.Private(me).Read(theirs, scratchAddr, nbytes)
 			op(mine, theirs)
@@ -106,6 +107,7 @@ func (c *Comm) Gather(root, addr, lines int) {
 	if p == 1 {
 		return
 	}
+	c.port.SyncShape(rcce.ShapeTree | root)
 	vrank := ((me - root) + p) % p
 	// blockOff maps a rank-space block range to (byte addr, line count):
 	// blocks are stored by ORIGINAL core id so the root's layout is
@@ -150,6 +152,7 @@ func (c *Comm) Scatter(root, addr, lines int) {
 	if p == 1 {
 		return
 	}
+	c.port.SyncShape(rcce.ShapeTree | root)
 	vrank := ((me - root) + p) % p
 	blockAddr := func(vr int) int { return addr + ((vr+root)%p)*lines*scc.CacheLine }
 
@@ -194,6 +197,7 @@ func (c *Comm) AllGather(addr, lines int) {
 	if p == 1 {
 		return
 	}
+	c.port.SyncShape(rcce.ShapeRing)
 	blockAddr := func(id int) int { return addr + ((id%p+p)%p)*lines*scc.CacheLine }
 	left, right := (me-1+p)%p, (me+1)%p
 	sendFirst := me%2 == 0

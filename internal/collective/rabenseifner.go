@@ -3,6 +3,7 @@ package collective
 import (
 	"fmt"
 
+	"repro/internal/rcce"
 	"repro/internal/scc"
 )
 
@@ -37,6 +38,7 @@ func (c *Comm) AllReduceRabenseifner(addr, scratchAddr, lines int, op ReduceOp) 
 	if p == 1 {
 		return
 	}
+	c.port.SyncShape(rcce.ShapeRecHalf)
 
 	pof2 := 1
 	for pof2*2 <= p {
@@ -173,8 +175,7 @@ func (c *Comm) combine(addr, scratchAddr, lines int, op ReduceOp) {
 	chip := core.Chip()
 	me := core.ID()
 	nbytes := lines * scc.CacheLine
-	mine := make([]byte, nbytes)
-	theirs := make([]byte, nbytes)
+	mine, theirs := c.combineScratch(nbytes)
 	chip.Private(me).Read(mine, addr, nbytes)
 	chip.Private(me).Read(theirs, scratchAddr, nbytes)
 	op(mine, theirs)

@@ -1,6 +1,9 @@
 package collective
 
-import "repro/internal/scc"
+import (
+	"repro/internal/rcce"
+	"repro/internal/scc"
+)
 
 // sliceStart returns the starting line of slice i when `lines` lines are
 // split into p balanced contiguous slices (slice i covers
@@ -17,6 +20,7 @@ func (c *Comm) BcastScatterAllgather(root, addr, lines int) {
 	if p == 1 {
 		return
 	}
+	c.port.SyncShape(rcce.ShapeSAG | root)
 	vrank := ((me - root) + p) % p
 	toID := func(vr int) int { return (vr%p + p + root) % p }
 
@@ -114,6 +118,7 @@ func (c *Comm) BcastScatterAllgatherOneSided(root, addr, lines int) {
 	if p == 1 {
 		return
 	}
+	c.port.SyncShape(rcce.ShapeSAG | root)
 	vrank := ((me - root) + p) % p
 	toID := func(vr int) int { return (vr%p + p + root) % p }
 	rangeLines := func(a, b int) (off, n int) {

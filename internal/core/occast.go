@@ -194,7 +194,7 @@ func (b *Broadcaster) Bcast(root, addr, lines int) {
 // buildTree constructs this core's tree node, applying the ablation
 // rewiring when configured.
 func (b *Broadcaster) buildTree(root int) Tree {
-	t := BuildTree(b.core.ID(), root, b.core.N(), b.cfg.K)
+	t := TreeFor(b.core.ID(), root, b.core.N(), b.cfg.K)
 	if b.cfg.SequentialNotify {
 		// Ablation: the parent notifies every child itself; nothing is
 		// forwarded sibling-to-sibling.

@@ -3,7 +3,10 @@
 // notification trees and double buffering (paper §4).
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Tree describes one core's position in the k-ary message-propagation
 // tree and in the binary notification trees (paper Figure 5). The tree is
@@ -88,6 +91,34 @@ func BuildTree(self, s, p, k int) Tree {
 	for i := 0; i < len(t.Children) && i < 2; i++ {
 		t.NotifyOwn = append(t.NotifyOwn, t.Children[i])
 	}
+	return t
+}
+
+// treeMemo is the process-wide BuildTree memo behind TreeFor. Trees are
+// pure functions of (self, root, p, k) and read-only once built, so they
+// are shared freely across cores, simulations and pooled chips.
+var treeMemo = struct {
+	sync.RWMutex
+	m map[[4]int32]Tree
+}{m: make(map[[4]int32]Tree)}
+
+// TreeFor is a memoized BuildTree. Hot paths that construct a tree per
+// collective call (the broadcaster, the non-blocking engine) go through
+// it so a long run over rotating roots builds each tree once per process
+// instead of once per operation. Callers must treat the returned node's
+// slices as immutable.
+func TreeFor(self, s, p, k int) Tree {
+	key := [4]int32{int32(self), int32(s), int32(p), int32(k)}
+	treeMemo.RLock()
+	t, ok := treeMemo.m[key]
+	treeMemo.RUnlock()
+	if ok {
+		return t
+	}
+	t = BuildTree(self, s, p, k)
+	treeMemo.Lock()
+	treeMemo.m[key] = t
+	treeMemo.Unlock()
 	return t
 }
 

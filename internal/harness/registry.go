@@ -83,6 +83,12 @@ func Registry() []Experiment {
 			},
 		},
 		{
+			Name: "fig-apps", Desc: "whole-application kernel replay: paper-default vs auto selection",
+			Run: func(cfg scc.Config, effort int) ([]*Table, error) {
+				return []*Table{FigApps(cfg, effort)}, nil
+			},
+		},
+		{
 			Name: "fig-scale", Desc: "model vs simulation across mesh sizes 48-384 cores",
 			Run: func(cfg scc.Config, effort int) ([]*Table, error) {
 				return []*Table{FigScale(cfg, effort)}, nil

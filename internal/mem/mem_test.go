@@ -309,3 +309,38 @@ func TestExtentRecycling(t *testing.T) {
 		t.Fatalf("steady-state write/read allocates %.1f objects per op, want 0", allocs)
 	}
 }
+
+// TestMPBSweepPending covers the pending-extent sweep: writes to lines
+// that are never read again (a collective's final flag writes) must not
+// accumulate forever, and the sweep must preserve per-line issue order —
+// a write behind a still-future write on the same line may not fold
+// ahead of it, even when its own effective time is past the horizon.
+func TestMPBSweepPending(t *testing.T) {
+	_, m := newTestMPB()
+
+	// Line 7 keeps a write queue with a far-future entry in the middle:
+	// 0x11 (foldable), 0x22 (future), 0x33 (foldable time, but issued
+	// after the future write, so it must stay queued behind it).
+	m.WriteLines(7, lineOf(0x11), 1, 100*sim.Nanosecond, 0)
+	m.WriteLines(7, lineOf(0x22), 1, sim.Micros(1000), 0)
+	m.WriteLines(7, lineOf(0x33), 1, 200*sim.Nanosecond, 0)
+
+	// A read elsewhere advances the fold horizon to 1 µs.
+	m.ReadLine(0, sim.Micros(1))
+
+	// Flag-style writes, never read back, enough to cross the sweep
+	// threshold several times over.
+	for i := 0; i < 4*sweepMinPending; i++ {
+		eff := (50 + sim.Time(i)) * sim.Nanosecond
+		m.WriteLines(10+i%40, lineOf(byte(i)), 1, eff, 0)
+	}
+	if n := len(m.pending); n >= sweepMinPending {
+		t.Fatalf("pending list not swept: %d extents (threshold %d)", n, sweepMinPending)
+	}
+
+	// Issue order on line 7 survived the sweeps: the final visible value
+	// is the last-issued write, not the future-timestamped one.
+	if got := m.ReadLine(7, sim.Micros(2000)); !bytes.Equal(got, lineOf(0x33)) {
+		t.Fatalf("line 7 reads %x, want 33.. (sweep broke per-line issue order)", got[:4])
+	}
+}

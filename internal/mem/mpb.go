@@ -45,6 +45,17 @@ type MPB struct {
 	// free recycles fully folded extents (and their line buffers) so the
 	// steady-state write path allocates nothing.
 	free []*pendingExtent
+	// settledAt is the largest read time settle has folded to — a safe
+	// fold horizon for sweepPending, because the engine executes
+	// operations in nondecreasing global time order, so every future
+	// read happens at or after it.
+	settledAt sim.Time
+	// sweepAt is the pending-list length that triggers the next
+	// sweepPending, doubled after each sweep so a workload whose extents
+	// genuinely cannot fold yet pays amortized O(1) per write.
+	sweepAt int
+	// sweepBlocked is sweepPending's reusable per-line blocked bitmap.
+	sweepBlocked []uint64
 
 	// Port is the FIFO server modelling the MPB's access port, the
 	// contention point measured in Figure 4.
@@ -220,6 +231,9 @@ func (m *MPB) checkLine(line int) {
 // store for the given line. Per line, folding stops at the first pending
 // write in the future — each line consumes its own issue-order prefix.
 func (m *MPB) settle(line int, t sim.Time) {
+	if t > m.settledAt {
+		m.settledAt = t
+	}
 	if len(m.pending) == 0 {
 		return
 	}
@@ -283,7 +297,15 @@ func (m *MPB) newExtent(n int) *pendingExtent {
 	}
 	need := n * scc.CacheLine
 	if cap(x.data) < need {
-		x.data = make([]byte, need)
+		// Round the buffer up to a power-of-two class so the pool's
+		// buffers converge on sizes that serve every smaller transfer,
+		// instead of churning reallocations when a recycled small-flag
+		// extent is popped for a larger payload write.
+		class := scc.CacheLine
+		for class < need {
+			class <<= 1
+		}
+		x.data = make([]byte, need, class)
 	}
 	x.data = x.data[:need]
 	words := (n + 63) / 64
@@ -298,6 +320,55 @@ func (m *MPB) newExtent(n int) *pendingExtent {
 	x.n = n
 	return x
 }
+
+// sweepPending folds every pending line value whose effective time has
+// already been observed by some read (settledAt is a safe horizon: the
+// engine executes operations in nondecreasing global time order, so no
+// future read can arrive earlier). Without it, an extent whose lines are
+// never read again — a collective's final flag write, a lane's abandoned
+// slot — stays pending for the rest of the simulation: the pool starves,
+// and every settle scans an ever-growing list, turning long replays
+// quadratic. The trigger threshold doubles when a sweep cannot shrink
+// the list (extents genuinely still in the future), keeping the
+// amortized cost per write O(1).
+func (m *MPB) sweepPending() {
+	words := (m.lines + 63) / 64
+	if cap(m.sweepBlocked) < words {
+		m.sweepBlocked = make([]uint64, words)
+	}
+	blocked := m.sweepBlocked[:words]
+	for i := range blocked {
+		blocked[i] = 0
+	}
+	completed := false
+	for _, x := range m.pending {
+		for line := x.line0; line < x.line0+x.n; line++ {
+			if blocked[line/64]&(1<<(line%64)) != 0 || x.isApplied(line) {
+				continue
+			}
+			if x.effAt(line) > m.settledAt {
+				// A future write blocks this line's queue: later
+				// extents must not fold ahead of it.
+				blocked[line/64] |= 1 << (line % 64)
+				continue
+			}
+			copy(m.data[line*scc.CacheLine:], x.lineData(line))
+			x.markApplied(line)
+			completed = completed || x.nApplied == x.n
+		}
+	}
+	if completed {
+		m.compact()
+	}
+	m.sweepAt = 2 * len(m.pending)
+	if m.sweepAt < sweepMinPending {
+		m.sweepAt = sweepMinPending
+	}
+}
+
+// sweepMinPending is the pending-list length below which sweepPending is
+// never triggered: short lists are cheap to scan and recycle naturally.
+const sweepMinPending = 64
 
 // ReadLine returns the 32-byte content of a line as visible at time t.
 // The returned slice is a copy.
@@ -366,6 +437,9 @@ func (m *MPB) WriteLines(line0 int, src []byte, n int, eff0 sim.Time, stride sim
 	x.stride = stride
 	copy(x.data, src[:n*scc.CacheLine])
 	m.pending = append(m.pending, x)
+	if len(m.pending) >= m.sweepAt && len(m.pending) >= sweepMinPending {
+		m.sweepPending()
+	}
 	// One coalesced fan-out for the whole extent: the engine stops the
 	// scan as soon as no process is blocked, so a wide bulk write costs
 	// O(1) instead of n watcher-map probes.
@@ -520,6 +594,8 @@ func (m *MPB) Reset() {
 		m.pending[i] = nil
 	}
 	m.pending = m.pending[:0]
+	m.settledAt = 0
+	m.sweepAt = 0
 	m.Port.Reset()
 	for i := range m.lastAccess {
 		m.lastAccess[i] = accessNever

@@ -18,10 +18,10 @@ func (x *Collectives) Bcast(root, addr, lines int) {
 // IBcast is the non-blocking Bcast: it issues the broadcast and returns a
 // Request to Test or Wait on while the core computes.
 func (x *Collectives) IBcast(root, addr, lines int) *Request {
-	return x.issue("IBcast", root, addr, lines, func(l *lane, t core.Tree) {
-		l.bcastDown(t, addr, lines)
-	})
+	return x.issue("IBcast", root, addr, lines, nil, runIBcast)
 }
+
+func runIBcast(r *Request) { r.lane.bcastDown(r.tree, r.addr, r.lines) }
 
 // bcastDown is the OC-Bcast §4 chunk pipeline over the lane's own
 // flag lines (dnNotify/dnDone), with the §5.4 leaf-direct optimization

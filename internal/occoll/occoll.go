@@ -38,6 +38,7 @@ package occoll
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/collective"
 	"repro/internal/core"
@@ -167,18 +168,32 @@ func (x *Collectives) numBuffers() int { return numBuffers(x.cfg) }
 
 // lane is one independent slice of the MPB layout: chunk buffers plus a
 // flag block. All cores use identical lane layouts, so a lane's line
-// numbers address the same protocol slot on every peer. The wait hook is
-// installed per request: blocking requests wait with rma.WaitFlagGE
-// (parking the simulated proc on the engine's run queue); requests being
-// advanced by Test/Progress poll with rma.TryFlagGE and park the protocol
-// coroutine instead.
+// numbers address the same protocol slot on every peer. Flag waits
+// forward to the occupying request (see lane.wait): blocking requests
+// wait with rma.WaitFlagGE (parking the simulated proc on the engine's
+// run queue); requests being advanced by Test/Progress poll with
+// rma.TryFlagGE and park the protocol coroutine instead.
 type lane struct {
 	x        *Collectives
 	idx      int
 	dataBase int
 	flagBase int
-	wait     func(line int, seq uint64)
 	req      *Request // current/last request occupying the lane
+	// dnUsed is streamDown's reusable slot-occupancy table.
+	dnUsed []occupant
+}
+
+// wait is the lane protocols' flag-wait hook; it dispatches to the
+// request occupying the lane. A method rather than a per-issue
+// `r.waitGE` method-value field: binding that closure allocated on
+// every issue.
+func (l *lane) wait(line int, seq uint64) { l.req.waitGE(line, seq) }
+
+// occupant records which child's transfer last staged into an MPB slot,
+// and its per-edge sequence number, for streamDown's occupancy waits.
+type occupant struct {
+	childIdx int
+	seq      uint64
 }
 
 // bufLine maps a chunk/transfer index to its MPB slot's first line.
@@ -228,7 +243,7 @@ func (l *lane) begin(root int) core.Tree {
 	// on this lane — no stale reader of this core's lane buffers survives
 	// it.
 	x.port.Barrier()
-	return core.BuildTree(c.ID(), root, c.N(), x.cfg.K)
+	return core.TreeFor(c.ID(), root, c.N(), x.cfg.K)
 }
 
 // chunkSpan returns the line count of chunk ch out of `lines` total.
@@ -243,6 +258,31 @@ func (x *Collectives) chunkSpan(ch, lines int) int {
 // nchunks is the number of BufLines-sized chunks covering `lines`.
 func (x *Collectives) nchunks(lines int) int {
 	return (lines + x.cfg.BufLines - 1) / x.cfg.BufLines
+}
+
+// preorderMemo is the process-wide cache behind preorder: subtree
+// preorders are pure functions of (rank, p, k) and iterated read-only,
+// so the scatter/gather streams share them across operations and runs.
+var preorderMemo = struct {
+	sync.RWMutex
+	m map[[3]int32][]int
+}{m: make(map[[3]int32][]int)}
+
+// preorder is a memoized preorderRanks(r, p, k, nil). Callers must not
+// mutate the returned slice.
+func preorder(r, p, k int) []int {
+	key := [3]int32{int32(r), int32(p), int32(k)}
+	preorderMemo.RLock()
+	out, ok := preorderMemo.m[key]
+	preorderMemo.RUnlock()
+	if ok {
+		return out
+	}
+	out = preorderRanks(r, p, k, nil)
+	preorderMemo.Lock()
+	preorderMemo.m[key] = out
+	preorderMemo.Unlock()
+	return out
 }
 
 // preorderRanks appends the DFS preorder of the subtree rooted at rank r

@@ -22,10 +22,10 @@ func (x *Collectives) IReduce(root, addr, lines int, op ReduceOp) *Request {
 	if op == nil {
 		panic("occoll: nil reduce op")
 	}
-	return x.issue("IReduce", root, addr, lines, func(l *lane, t core.Tree) {
-		l.reduceUp(t, addr, lines, op)
-	})
+	return x.issue("IReduce", root, addr, lines, op, runIReduce)
 }
+
+func runIReduce(r *Request) { r.lane.reduceUp(r.tree, r.addr, r.lines, r.rop) }
 
 // AllReduce is OC-Reduce fused with an OC-Bcast of the result: both
 // halves share one propagation tree and the same double-buffered MPB
@@ -42,10 +42,12 @@ func (x *Collectives) IAllReduce(addr, lines int, op ReduceOp) *Request {
 	if op == nil {
 		panic("occoll: nil reduce op")
 	}
-	return x.issue("IAllReduce", 0, addr, lines, func(l *lane, t core.Tree) {
-		l.reduceUp(t, addr, lines, op)
-		l.bcastDown(t, addr, lines)
-	})
+	return x.issue("IAllReduce", 0, addr, lines, op, runIAllReduce)
+}
+
+func runIAllReduce(r *Request) {
+	r.lane.reduceUp(r.tree, r.addr, r.lines, r.rop)
+	r.lane.bcastDown(r.tree, r.addr, r.lines)
 }
 
 // reduceUp runs the reduction pipeline toward the root. Per chunk, a

@@ -66,6 +66,15 @@ type Request struct {
 	op   string
 	lane *lane
 
+	// The protocol program: a static per-operation function plus its
+	// arguments, carried in the frame (instead of a per-issue closure)
+	// so a warmed issue loop allocates nothing here.
+	run   func(*Request)
+	tree  core.Tree
+	addr  int
+	lines int
+	rop   ReduceOp
+
 	mode     waitMode
 	done     bool // protocol locally complete (lane drained)
 	consumed bool // completion observed by Wait or a true Test
@@ -83,6 +92,12 @@ type Request struct {
 	panicVal any
 	resume   chan struct{} // driver -> protocol: run
 	yield    chan struct{} // protocol -> driver: parked or finished
+
+	// start spawns the protocol coroutine: a zero-argument closure over
+	// the frame, built once per frame and kept across recycles. A go
+	// statement on a zero-arg func value allocates nothing, whereas
+	// `go f(r)` heap-allocates a hidden wrapper closure per issue.
+	start func()
 }
 
 // Op reports the name of the collective the request was issued by (e.g.
@@ -93,7 +108,7 @@ func (r *Request) Op() string { return r.op }
 // claim, begin (flag zeroing + barrier), then the protocol coroutine,
 // eagerly advanced to its first unsatisfied flag wait so communication
 // starts at issue time.
-func (x *Collectives) issue(op string, root, addr, lines int, run func(l *lane, t core.Tree)) *Request {
+func (x *Collectives) issue(op string, root, addr, lines int, rop ReduceOp, run func(*Request)) *Request {
 	if x.finished {
 		panic(fmt.Sprintf("occoll: %s issued after its core finished", op))
 	}
@@ -112,15 +127,15 @@ func (x *Collectives) issue(op string, root, addr, lines int, run func(l *lane, 
 	}
 	r := x.newRequest()
 	r.x, r.op, r.lane = x, op, l
+	r.run, r.addr, r.lines, r.rop = run, addr, lines, rop
 	if o := x.core.Obs(); o != nil {
 		r.obsID = o.AsyncID()
 		o.AsyncBegin(r.obsID, x.core.ID(), int64(x.core.Now()), "occoll", op,
 			obs.Arg{Key: "lane", Val: int64(l.idx)}, obs.Arg{Key: "lines", Val: int64(lines)})
 	}
 	l.req = r
-	l.wait = r.waitGE
-	t := l.begin(root)
-	go r.body(run, t)
+	r.tree = l.begin(root)
+	go r.start()
 	x.compactReqs() // keep the list bounded by in-flight requests
 	x.reqs = append(x.reqs, r)
 	r.advance(modeTry)
@@ -138,13 +153,15 @@ func (x *Collectives) newRequest() *Request {
 		r := x.freeReqs[n-1]
 		x.freeReqs[n-1] = nil
 		x.freeReqs = x.freeReqs[:n-1]
-		*r = Request{resume: r.resume, yield: r.yield}
+		*r = Request{resume: r.resume, yield: r.yield, start: r.start}
 		return r
 	}
-	return &Request{
+	r := &Request{
 		resume: make(chan struct{}),
 		yield:  make(chan struct{}),
 	}
+	r.start = func() { r.body() }
+	return r
 }
 
 // reqFreeListMax bounds the free list; a serial issue/Wait loop keeps it
@@ -182,7 +199,7 @@ func (x *Collectives) compactReqs() {
 // lane protocol, and hands control back marking the request done. A panic
 // inside the protocol (a programming error or a simulated deadlock being
 // torn down) is captured and re-raised on the driving goroutine.
-func (r *Request) body(run func(l *lane, t core.Tree), t core.Tree) {
+func (r *Request) body() {
 	<-r.resume
 	defer func() {
 		if p := recover(); p != nil && p != errAbandoned {
@@ -198,7 +215,7 @@ func (r *Request) body(run func(l *lane, t core.Tree), t core.Tree) {
 		}
 		r.yield <- struct{}{}
 	}()
-	run(r.lane, t)
+	r.run(r)
 }
 
 // advance transfers control to the protocol coroutine in the given wait

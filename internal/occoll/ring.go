@@ -1,7 +1,6 @@
 package occoll
 
 import (
-	"repro/internal/core"
 	"repro/internal/scc"
 )
 
@@ -23,10 +22,10 @@ func (x *Collectives) AllGatherRing(addr, lines int) {
 // exchange and returns a Request to Test or Wait on while the core
 // computes.
 func (x *Collectives) IAllGatherRing(addr, lines int) *Request {
-	return x.issue("IAllGatherRing", 0, addr, lines, func(l *lane, t core.Tree) {
-		l.ringAllGather(addr, lines)
-	})
+	return x.issue("IAllGatherRing", 0, addr, lines, nil, runIAllGatherRing)
 }
+
+func runIAllGatherRing(r *Request) { r.lane.ringAllGather(r.addr, r.lines) }
 
 // ringAllGather runs the ring pipeline on the lane. Cores form a ring in
 // id order; transfers carry a global 1-based sequence number tr shared by

@@ -20,12 +20,14 @@ func (x *Collectives) Scatter(root, addr, lines int) {
 // IScatter is the non-blocking Scatter: it issues the distribution and
 // returns a Request to Test or Wait on while the core computes.
 func (x *Collectives) IScatter(root, addr, lines int) *Request {
-	return x.issue("IScatter", root, addr, lines, func(l *lane, t core.Tree) {
-		if t.Rank != 0 {
-			l.recvSubtree(t, addr, lines)
-		}
-		l.streamDown(t, addr, lines)
-	})
+	return x.issue("IScatter", root, addr, lines, nil, runIScatter)
+}
+
+func runIScatter(r *Request) {
+	if r.tree.Rank != 0 {
+		r.lane.recvSubtree(r.tree, r.addr, r.lines)
+	}
+	r.lane.streamDown(r.tree, r.addr, r.lines)
 }
 
 // Gather collects each core's `lines`-line block onto the root: core i's
@@ -40,10 +42,10 @@ func (x *Collectives) Gather(root, addr, lines int) {
 // IGather is the non-blocking Gather: it issues the collection and
 // returns a Request to Test or Wait on while the core computes.
 func (x *Collectives) IGather(root, addr, lines int) *Request {
-	return x.issue("IGather", root, addr, lines, func(l *lane, t core.Tree) {
-		l.gatherUp(t, addr, lines)
-	})
+	return x.issue("IGather", root, addr, lines, nil, runIGather)
 }
+
+func runIGather(r *Request) { r.lane.gatherUp(r.tree, r.addr, r.lines) }
 
 // AllGather exchanges every core's block so all cores hold all P blocks,
 // id-ordered at addr: an OC-Gather onto core 0 fused with an OC-Bcast of
@@ -55,10 +57,12 @@ func (x *Collectives) AllGather(addr, lines int) {
 // IAllGather is the non-blocking AllGather: it issues the fused
 // gather+broadcast and returns a Request to Test or Wait on.
 func (x *Collectives) IAllGather(addr, lines int) *Request {
-	return x.issue("IAllGather", 0, addr, lines, func(l *lane, t core.Tree) {
-		l.gatherUp(t, addr, lines)
-		l.bcastDown(t, addr, lines*t.P)
-	})
+	return x.issue("IAllGather", 0, addr, lines, nil, runIAllGather)
+}
+
+func runIAllGather(r *Request) {
+	r.lane.gatherUp(r.tree, r.addr, r.lines)
+	r.lane.bcastDown(r.tree, r.addr, r.lines*r.tree.P)
 }
 
 // recvSubtree receives this node's subtree blocks from its parent, block
@@ -72,7 +76,7 @@ func (l *lane) recvSubtree(t core.Tree, addr, lines int) {
 	nb := uint64(x.numBuffers())
 	blockBytes := lines * scc.CacheLine
 	var tr uint64
-	for _, r := range preorderRanks(t.Rank, t.P, t.K, nil) {
+	for _, r := range preorder(t.Rank, t.P, t.K) {
 		blockA := addr + rankID(r, t.Root, t.P)*blockBytes
 		for chk := 0; chk < x.nchunks(lines); chk++ {
 			m := x.chunkSpan(chk, lines)
@@ -98,16 +102,20 @@ func (l *lane) streamDown(t core.Tree, addr, lines int) {
 	c, cfg := x.core, x.cfg
 	nb := x.numBuffers()
 	blockBytes := lines * scc.CacheLine
-	type occupant struct {
-		childIdx int
-		seq      uint64
+	// The occupancy table is lane-local scratch, reused across
+	// operations so the steady-state down-stream allocates nothing.
+	if cap(l.dnUsed) < nb {
+		l.dnUsed = make([]occupant, nb)
 	}
-	used := make([]occupant, nb)
+	used := l.dnUsed[:nb]
+	for i := range used {
+		used[i] = occupant{}
+	}
 
 	for i, child := range t.Children {
 		childRank := t.Rank*t.K + 1 + i
 		var tc uint64
-		for _, r := range preorderRanks(childRank, t.P, t.K, nil) {
+		for _, r := range preorder(childRank, t.P, t.K) {
 			blockA := addr + rankID(r, t.Root, t.P)*blockBytes
 			for chk := 0; chk < x.nchunks(lines); chk++ {
 				m := x.chunkSpan(chk, lines)
@@ -142,7 +150,7 @@ func (l *lane) gatherUp(t core.Tree, addr, lines int) {
 	for i, child := range t.Children {
 		childRank := t.Rank*t.K + 1 + i
 		var tc uint64
-		for _, r := range preorderRanks(childRank, t.P, t.K, nil) {
+		for _, r := range preorder(childRank, t.P, t.K) {
 			blockA := addr + rankID(r, t.Root, t.P)*blockBytes
 			for chk := 0; chk < x.nchunks(lines); chk++ {
 				m := x.chunkSpan(chk, lines)
@@ -158,7 +166,7 @@ func (l *lane) gatherUp(t core.Tree, addr, lines int) {
 		return
 	}
 	var tc uint64
-	for _, r := range preorderRanks(t.Rank, t.P, t.K, nil) {
+	for _, r := range preorder(t.Rank, t.P, t.K) {
 		blockA := addr + rankID(r, t.Root, t.P)*blockBytes
 		for chk := 0; chk < x.nchunks(lines); chk++ {
 			m := x.chunkSpan(chk, lines)

@@ -40,6 +40,7 @@ type Port struct {
 	turnGrant map[int]uint64 // send turns granted, per peer
 	turnWait  map[int]uint64 // send turns awaited, per peer
 	epoch     uint64         // barrier epoch
+	shape     int            // root of the last rooted collective, -1 before the first
 }
 
 // NewPort wraps a core with two-sided communication state. The RCCE line
@@ -54,7 +55,46 @@ func NewPort(core *rma.Core) *Port {
 		recvSeq:   make(map[int]uint64),
 		turnGrant: make(map[int]uint64),
 		turnWait:  make(map[int]uint64),
+		shape:     -1,
 	}
+}
+
+// Shape classes for SyncShape. Two consecutive collectives may skip the
+// fence only when their pairing graphs coincide: same class AND same
+// root. The binomial rank-space tree is one class shared by broadcast,
+// reduce, gather and scatter (they pair (vrank, vrank±mask) identically,
+// which is what lets reduce+broadcast fusions like AllReduce stay
+// fence-free); the naive star, the scatter-allgather halving-tree+ring,
+// the neighbor ring and the recursive halving/doubling exchange each pair
+// cores differently and form their own classes.
+const (
+	ShapeTree = iota << 16
+	ShapeStar
+	ShapeSAG
+	ShapeRing
+	ShapeRecHalf
+)
+
+// SyncShape fences consecutive two-sided collectives whose pairing
+// structure differs. The handshake lines (lineSent, lineReady) are
+// single-writer by the RCCE discipline: within one collective a core's
+// partner set is fixed by the pairing graph, and per-pair flow control
+// keeps one writer per line. Across two collectives with DIFFERENT
+// graphs a core's new partner can overwrite a flag its old partner's
+// handshake still needs — a lost wake-up and a deadlock (e.g. Gather(0)
+// directly followed by Gather(1), or a root-0 tree gather followed by
+// the neighbor-ring allgather). Every two-sided collective declares its
+// shape here — a class constant above, OR'd with the root for rooted
+// trees; when the shape changes, the cores run a barrier first, which
+// drains all handshakes before any new-graph flag is written.
+// Back-to-back collectives of the SAME shape — every measurement loop,
+// and reduce+broadcast fusions like AllReduce — pass through untouched,
+// so the fence costs nothing on existing paths.
+func (p *Port) SyncShape(shape int) {
+	if p.shape >= 0 && p.shape != shape {
+		p.Barrier()
+	}
+	p.shape = shape
 }
 
 // Core returns the underlying RMA core handle.

@@ -1,0 +1,58 @@
+package workload
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzTraceRoundTrip hammers the octrace parser with arbitrary bytes:
+// malformed input must be rejected with a positional error (never a
+// panic), and accepted input must round-trip losslessly — parse →
+// serialize → parse yields identical records, the canonical text is a
+// serialization fixed point, and every parsed trace passes Validate. The
+// checked-in corpus under testdata/fuzz seeds both halves; CI runs the
+// target for 10s on every push.
+func FuzzTraceRoundTrip(f *testing.F) {
+	f.Add([]byte("octrace v1\nallreduce 0 64 12.5 30\nbcast 3 96 0 0\n"))
+	f.Add([]byte("octrace v1\n# comment\n\nscatter 1 8 0.125 7.75\ngather 1 8 1e-3 0\n"))
+	f.Add([]byte("octrace v1\nreduce 2 1 3.5 0\nallgather 0 4 0 0\n"))
+	f.Add([]byte("bcast 0 1 0 0\n"))                          // missing header
+	f.Add([]byte("octrace v1\nfrobnicate 0 1 0 0\n"))         // unknown op
+	f.Add([]byte("octrace v1\nbcast 0 1 0\n"))                // missing field
+	f.Add([]byte("octrace v1\nbcast -1 1 0 0\n"))             // negative root
+	f.Add([]byte("octrace v1\nbcast 0 1 1e999 0\n"))          // overflow delta
+	f.Add([]byte("octrace v1\nbcast 0 1 NaN Inf\n"))          // non-finite gaps
+	f.Add([]byte("octrace v1\nallreduce 0 1048577 0 0\n"))    // lines over cap
+	f.Add([]byte("octrace v1\r\nbcast 0 1 0 0\r\n"))          // CRLF input
+	f.Add([]byte("octrace v1\n\tbcast\t0\t1\t0.1\t0.25  \n")) // tab separators
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ParseBytes(data)
+		if err != nil {
+			// Rejections must be positional and must not drop a trace.
+			if tr != nil {
+				t.Fatalf("Parse returned both a trace and error %v", err)
+			}
+			msg := err.Error()
+			if !strings.Contains(msg, "workload: ") ||
+				!(strings.Contains(msg, "line ") || strings.Contains(msg, "empty input")) {
+				t.Fatalf("error %q is not positional", msg)
+			}
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("parsed trace fails Validate: %v", err)
+		}
+		canon := tr.Format()
+		tr2, err := ParseBytes(canon)
+		if err != nil {
+			t.Fatalf("canonical text does not reparse: %v\n%q", err, canon)
+		}
+		if !reflect.DeepEqual(tr.Records, tr2.Records) {
+			t.Fatalf("round trip changed records:\n%+v\n%+v", tr.Records, tr2.Records)
+		}
+		if string(canon) != string(tr2.Format()) {
+			t.Fatalf("canonical text is not a fixed point:\n%q\n%q", canon, tr2.Format())
+		}
+	})
+}

@@ -1,0 +1,219 @@
+package workload
+
+import "fmt"
+
+// Synthetic application kernels: generators that emit realistic traces
+// for three archetypal HPC communication patterns. They are the whole-app
+// benchmark the fig-apps experiment replays under paper-default vs "auto"
+// algorithm selection — isolated-call regret (fig-crossover) cannot tell
+// whether the tuner helps a program, these can. Generators are pure
+// functions of their parameters, so a kernel's trace is reproducible
+// byte-for-byte and the replays are deterministic.
+
+// SGDParams shape a data-parallel SGD training loop: each step runs a
+// forward pass, then backpropagates layer by layer, starting each layer's
+// gradient allreduce as soon as that layer's gradients exist and
+// overlapping it with the next layer's backprop — except the last
+// allreduce, which has no work left to hide behind and blocks (the
+// optimizer needs every gradient before the weight update).
+type SGDParams struct {
+	// Steps is the number of training steps.
+	Steps int
+	// LayerLines are the per-layer gradient sizes in cache lines, in
+	// allreduce issue order (reverse layer order; the final entry is the
+	// blocking tail).
+	LayerLines []int
+	// FwdUs is the forward-pass compute per step, charged as the first
+	// allreduce's issue delta.
+	FwdUs float64
+	// BwdUs is one layer's backprop compute, the gap overlapped with the
+	// previous layer's in-flight allreduce.
+	BwdUs float64
+	// UpdateUs is the optimizer step, charged before the next step.
+	UpdateUs float64
+}
+
+// DefaultSGD is the fig-apps SGD kernel for an n-core chip: a 4-layer
+// model whose gradient allreduces span 512 B to 32 KiB, with fewer steps
+// on the big meshes to bound simulation cost.
+func DefaultSGD(n int) SGDParams {
+	steps := 4
+	if n > 96 {
+		steps = 2
+	}
+	return SGDParams{
+		Steps:      steps,
+		LayerLines: []int{16, 64, 256, 1024},
+		FwdUs:      200,
+		BwdUs:      150,
+		UpdateUs:   50,
+	}
+}
+
+// SGDTrace emits the allreduce-dominated SGD schedule.
+func SGDTrace(p SGDParams) *Trace {
+	t := &Trace{}
+	for s := 0; s < p.Steps; s++ {
+		for i, lines := range p.LayerLines {
+			r := Record{Op: OpAllReduce, Lines: lines}
+			if i == 0 {
+				r.DeltaUs = p.FwdUs
+				if s > 0 {
+					r.DeltaUs += p.UpdateUs
+				}
+			}
+			if i < len(p.LayerLines)-1 {
+				r.ComputeUs = p.BwdUs
+			}
+			t.Records = append(t.Records, r)
+		}
+	}
+	return t
+}
+
+// StencilParams shape an iterative stencil (halo-exchange) solver: every
+// iteration updates the local domain, exchanges halos with neighbors —
+// mapped onto a rotating-root gather (boundary collection) and scatter
+// (boundary distribution) pair, so successive iterations stress different
+// tree roots and distances — and periodically broadcasts the global field
+// (a coefficient refresh) and allreduces a tiny convergence residual.
+type StencilParams struct {
+	// N is the chip's core count (roots rotate modulo N).
+	N int
+	// Iters is the number of solver iterations.
+	Iters int
+	// HaloLines is the per-core halo block exchanged each iteration.
+	HaloLines int
+	// FieldLines is the broadcast payload of the periodic refresh.
+	FieldLines int
+	// BcastEvery broadcasts the field every BcastEvery iterations
+	// (0 disables the refresh).
+	BcastEvery int
+	// ComputeUs is the per-iteration domain update, charged before the
+	// halo exchange.
+	ComputeUs float64
+}
+
+// DefaultStencil is the fig-apps stencil kernel for an n-core chip.
+func DefaultStencil(n int) StencilParams {
+	iters := 6
+	if n > 96 {
+		iters = 3
+	}
+	return StencilParams{
+		N:          n,
+		Iters:      iters,
+		HaloLines:  4,
+		FieldLines: 512,
+		BcastEvery: 3,
+		ComputeUs:  120,
+	}
+}
+
+// StencilTrace emits the halo-exchange schedule.
+func StencilTrace(p StencilParams) *Trace {
+	t := &Trace{}
+	for it := 0; it < p.Iters; it++ {
+		root := it % p.N
+		t.Records = append(t.Records,
+			Record{Op: OpGather, Root: root, Lines: p.HaloLines, DeltaUs: p.ComputeUs},
+			Record{Op: OpScatter, Root: root, Lines: p.HaloLines},
+			Record{Op: OpAllReduce, Lines: 2, DeltaUs: 5},
+		)
+		if p.BcastEvery > 0 && (it+1)%p.BcastEvery == 0 {
+			t.Records = append(t.Records,
+				Record{Op: OpBcast, Root: 0, Lines: p.FieldLines, DeltaUs: 10})
+		}
+	}
+	return t
+}
+
+// ShuffleParams shape a MapReduce-style shuffle: each round maps locally,
+// redistributes blocks through a rotating set of scatter roots (the
+// alltoall decomposed into per-root scatters, partitioning overlapped
+// with the next scatter's preparation), collects results with a gather,
+// then exchanges the partition index with an allgather and combines
+// global counters with an allreduce.
+type ShuffleParams struct {
+	// N is the chip's core count (scatter/gather roots rotate modulo N).
+	N int
+	// Rounds is the number of map/shuffle rounds.
+	Rounds int
+	// Fanout is the number of scatter roots per round.
+	Fanout int
+	// BlockLines is the per-core block size of the shuffle collectives.
+	BlockLines int
+	// MapUs is the per-round map compute, charged before the shuffle;
+	// PartitionUs is the per-scatter partitioning work overlapped with
+	// the in-flight scatter.
+	MapUs, PartitionUs float64
+}
+
+// DefaultShuffle is the fig-apps shuffle kernel for an n-core chip.
+func DefaultShuffle(n int) ShuffleParams {
+	rounds := 3
+	if n > 96 {
+		rounds = 2
+	}
+	return ShuffleParams{
+		N:           n,
+		Rounds:      rounds,
+		Fanout:      4,
+		BlockLines:  8,
+		MapUs:       150,
+		PartitionUs: 60,
+	}
+}
+
+// ShuffleTrace emits the scatter/gather alltoall composition.
+func ShuffleTrace(p ShuffleParams) *Trace {
+	t := &Trace{}
+	for rd := 0; rd < p.Rounds; rd++ {
+		for j := 0; j < p.Fanout; j++ {
+			root := (rd*p.Fanout + j) % p.N
+			delta := 0.0
+			if j == 0 {
+				delta = p.MapUs
+			}
+			t.Records = append(t.Records,
+				Record{Op: OpScatter, Root: root, Lines: p.BlockLines,
+					DeltaUs: delta, ComputeUs: p.PartitionUs},
+				Record{Op: OpGather, Root: root, Lines: p.BlockLines},
+			)
+		}
+		t.Records = append(t.Records,
+			Record{Op: OpAllGather, Lines: p.BlockLines, DeltaUs: 20},
+			Record{Op: OpAllReduce, Lines: 64, DeltaUs: 10},
+		)
+	}
+	return t
+}
+
+// Kernel is one named synthetic application of the fig-apps set.
+type Kernel struct {
+	// Name identifies the kernel in tables and BENCH_simperf.json.
+	Name string
+	// Desc is the one-line description shown by ocbench.
+	Desc string
+	// Trace is the kernel's schedule for the chip it was built for.
+	Trace *Trace
+}
+
+// Kernels builds the fig-apps kernel set for an n-core chip with the
+// default parameters. Every trace validates against n by construction.
+func Kernels(n int) []Kernel {
+	ks := []Kernel{
+		{Name: "sgd", Desc: "data-parallel SGD: layered gradient allreduces, last one blocking",
+			Trace: SGDTrace(DefaultSGD(n))},
+		{Name: "stencil", Desc: "stencil halo exchange: rotating gather/scatter + periodic field bcast",
+			Trace: StencilTrace(DefaultStencil(n))},
+		{Name: "shuffle", Desc: "MapReduce shuffle: scatter/gather alltoall + allgather/allreduce combine",
+			Trace: ShuffleTrace(DefaultShuffle(n))},
+	}
+	for _, k := range ks {
+		if err := k.Trace.ValidateFor(n); err != nil {
+			panic(fmt.Sprintf("workload: kernel %s generated an invalid trace: %v", k.Name, err))
+		}
+	}
+	return ks
+}

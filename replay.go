@@ -1,0 +1,166 @@
+package ocbcast
+
+import (
+	"fmt"
+
+	"repro/internal/workload"
+)
+
+// Trace replay: the whole-application layer of the public API. A Trace is
+// a recorded schedule of collective calls — each record an operation, a
+// root, a payload size, the issue-time delta since the previous call and
+// the compute gap available to overlap — and System.Replay runs a whole
+// trace on the simulated chip, mapping blocking records onto the blocking
+// collectives and overlapped records onto the non-blocking I*/progress
+// engine path. The octrace text grammar, the synthetic application
+// kernels (SGD, stencil, shuffle) and the replay semantics live in
+// internal/workload; the fig-apps experiment replays the kernels under
+// paper-default vs "auto" algorithm selection to validate auto-selection
+// on whole-application time.
+
+// TraceRecord is one collective call of a recorded trace; Trace is the
+// recorded schedule. See ParseTrace for the text format.
+type (
+	TraceRecord = workload.Record
+	Trace       = workload.Trace
+)
+
+// ParseTrace parses octrace text, one collective call per line:
+//
+//	octrace v1
+//	# op root lines delta_us compute_us
+//	allreduce 0 1024 200 0
+//	bcast 3 96 12.5 40
+//
+// Operations are bcast, reduce, allreduce, scatter, gather, allgather;
+// root is ignored (write 0) for allreduce and allgather; lines is the
+// payload in 32-byte cache lines; delta is the issue-time gap since the
+// previous record (µs); a non-zero compute gap (µs) replays the record on
+// the non-blocking path, overlapping that much local work. Malformed
+// input is rejected with an error naming the offending line.
+func ParseTrace(data []byte) (*Trace, error) {
+	return workload.ParseBytes(data)
+}
+
+// ReplayStats summarize one whole-trace replay.
+type ReplayStats struct {
+	// Records is the number of collective calls replayed.
+	Records int
+	// FirstStartUs and LastFinishUs bound the replay in virtual time:
+	// the earliest core's clock after the opening barrier and the latest
+	// core's clock after the final record.
+	FirstStartUs, LastFinishUs float64
+	// MakespanUs is the whole-application time, LastFinishUs −
+	// FirstStartUs.
+	MakespanUs float64
+	// FinishUs is each core's completion clock, indexed by core id.
+	FinishUs []float64
+}
+
+// Replay runs a recorded trace on the chip: every core issues the
+// trace's collectives in order, charging each record's issue-time delta
+// as local compute first, running gap-free records as blocking calls and
+// records with a compute gap through the non-blocking progress engine
+// (issue, compute in slices with Test polls, Wait). Payloads live at
+// deterministic addresses — records rotate through four regions sized by
+// the trace's largest working set (see internal/workload.Layout) — so
+// stage input with WritePrivate and read results back with ReadPrivate.
+// Algorithm resolution follows Options.Algorithm like every collective
+// method, so the same trace replays under the paper-default stacks,
+// "auto", or a named override.
+//
+// Replay consumes the System's single Run; build a fresh System per
+// replay. It returns an error for a trace that does not fit the chip
+// (unknown op, root outside the core count).
+func (s *System) Replay(t *Trace) (ReplayStats, error) {
+	if t == nil {
+		return ReplayStats{}, fmt.Errorf("ocbcast: Replay of a nil trace")
+	}
+	if err := t.ValidateFor(s.N()); err != nil {
+		return ReplayStats{}, err
+	}
+	n := s.N()
+	l := workload.LayoutFor(t, n)
+	res := make([]workload.Result, n)
+	s.Run(func(c *Core) {
+		res[c.ID()] = workload.Replay(replayCore{c}, t, l, workload.ReplayOptions{})
+	})
+	st := ReplayStats{
+		Records:      len(t.Records),
+		FirstStartUs: res[0].StartUs,
+		LastFinishUs: res[0].FinishUs,
+		FinishUs:     make([]float64, n),
+	}
+	for id, r := range res {
+		st.FinishUs[id] = r.FinishUs
+		if r.StartUs < st.FirstStartUs {
+			st.FirstStartUs = r.StartUs
+		}
+		if r.FinishUs > st.LastFinishUs {
+			st.LastFinishUs = r.FinishUs
+		}
+	}
+	st.MakespanUs = st.LastFinishUs - st.FirstStartUs
+	return st, nil
+}
+
+// replayCore adapts a public Core to the replayer's Runner surface. The
+// record-to-method mapping is part of the replay contract (the
+// conformance suite issues it by hand): blocking records run the public
+// collective of the same name — Broadcast, Reduce, AllReduce, Scatter,
+// Gather, AllGather, each resolving through the algorithm registry per
+// Options.Algorithm — and overlapped records run the one-sided
+// non-blocking twins IBcastOC, IReduceOC, IAllReduceOC, IScatterOC,
+// IGatherOC, IAllGatherOC. Reductions combine with SumInt64.
+type replayCore struct{ c *Core }
+
+// Compute charges local work on the simulated core.
+func (r replayCore) Compute(us float64) { r.c.Compute(us) }
+
+// Barrier joins the chip-wide barrier.
+func (r replayCore) Barrier() { r.c.Barrier() }
+
+// NowUs reports the core's virtual clock in microseconds.
+func (r replayCore) NowUs() float64 { return r.c.NowMicros() }
+
+// Run executes one blocking record via the public collective of the
+// record's name.
+func (r replayCore) Run(rec TraceRecord, addr, scratch int) {
+	switch rec.Op {
+	case workload.OpBcast:
+		r.c.Broadcast(rec.Root, addr, rec.Lines)
+	case workload.OpReduce:
+		r.c.Reduce(rec.Root, addr, scratch, rec.Lines, SumInt64)
+	case workload.OpAllReduce:
+		r.c.AllReduce(addr, scratch, rec.Lines, SumInt64)
+	case workload.OpScatter:
+		r.c.Scatter(rec.Root, addr, rec.Lines)
+	case workload.OpGather:
+		r.c.Gather(rec.Root, addr, rec.Lines)
+	case workload.OpAllGather:
+		r.c.AllGather(addr, rec.Lines)
+	default:
+		panic(fmt.Sprintf("ocbcast: replay of unknown op %q", rec.Op))
+	}
+}
+
+// Issue starts one overlapped record via the non-blocking one-sided
+// twin of the record's operation.
+func (r replayCore) Issue(rec TraceRecord, addr, scratch int) workload.Pending {
+	switch rec.Op {
+	case workload.OpBcast:
+		return r.c.IBcastOC(rec.Root, addr, rec.Lines)
+	case workload.OpReduce:
+		return r.c.IReduceOC(rec.Root, addr, rec.Lines, SumInt64)
+	case workload.OpAllReduce:
+		return r.c.IAllReduceOC(addr, rec.Lines, SumInt64)
+	case workload.OpScatter:
+		return r.c.IScatterOC(rec.Root, addr, rec.Lines)
+	case workload.OpGather:
+		return r.c.IGatherOC(rec.Root, addr, rec.Lines)
+	case workload.OpAllGather:
+		return r.c.IAllGatherOC(addr, rec.Lines)
+	default:
+		panic(fmt.Sprintf("ocbcast: replay of unknown op %q", rec.Op))
+	}
+}

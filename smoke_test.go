@@ -23,7 +23,7 @@ func runGo(t *testing.T, args ...string) string {
 func TestSmokeExamples(t *testing.T) {
 	for _, example := range []string{
 		"quickstart", "collectives", "allreduce", "autotune",
-		"contention", "ksweep", "mpmd-os", "spmd-stencil",
+		"contention", "ksweep", "mpmd-os", "spmd-stencil", "replay",
 	} {
 		example := example
 		t.Run(example, func(t *testing.T) {
