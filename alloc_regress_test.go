@@ -13,6 +13,7 @@ import (
 	occore "repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/scc"
+	"repro/internal/serve"
 	"repro/internal/workload"
 )
 
@@ -100,4 +101,34 @@ func TestTuneCacheHitAllocs(t *testing.T) {
 	if allocs > 2 {
 		t.Errorf("Tune cache hit allocates %.1f times, budget 2", allocs)
 	}
+}
+
+// TestAllocsPerServeBudget pins the serving runtime's steady state: a
+// warmed 60-request two-tenant serving run on a pooled 8-core chip —
+// epoch syncs, admission, batching, dispatch over two lanes, completion
+// accounting — must stay within budget. The scheduler replica allocates
+// everything up front (newSched) and the round loop is allocation-free;
+// the budget covers only per-run fixtures (ports, engines, replica
+// state, collected metrics).
+func TestAllocsPerServeBudget(t *testing.T) {
+	cfg := scc.DefaultConfig()
+	const n = 8
+	scfg := serve.Config{Policy: serve.PolicyWeighted, QueueBound: 16, MaxBatch: 4, MaxBatchLines: 64, Lanes: 2}
+	streams := []serve.Stream{
+		serve.Synthetic(serve.SyntheticParams{
+			Tenant: "a", Weight: 3, Seed: 1, Count: 30, N: n,
+			Ops: workload.Ops(), Lines: []int{1, 4, 8}, MeanGapUs: 40,
+		}),
+		serve.Synthetic(serve.SyntheticParams{
+			Tenant: "b", Weight: 1, Seed: 2, Count: 30, N: n,
+			Ops: []string{workload.OpBcast, workload.OpAllReduce}, Lines: []int{2, 16}, MeanGapUs: 25,
+		}),
+	}
+	run := func() { harness.ServeChip(cfg, n, scfg, streams) }
+	run() // warm the chip pool
+	allocs := testing.AllocsPerRun(3, run)
+	if allocs > 1200 {
+		t.Errorf("warmed 60-request serving run allocates %.0f times, budget 1200", allocs)
+	}
+	t.Logf("allocs per warmed serving run: %.0f", allocs)
 }

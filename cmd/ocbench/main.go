@@ -14,6 +14,8 @@
 //	ocbench -verify tune         # gate the checked-in crossover table (CI)
 //	ocbench apps                 # whole-app kernel replay: default vs auto -> BENCH_simperf.json
 //	ocbench -verify apps         # gate the checked-in apps table (CI)
+//	ocbench serving              # multi-tenant serving sweep: load vs latency -> BENCH_simperf.json
+//	ocbench -verify serving      # gate the checked-in serving table + determinism double-run (CI)
 //	ocbench -verify perf         # hot-path perf gate (allocs + throughput) vs the checked-in baseline (CI)
 //	ocbench trace -op allreduce  # run one traced collective -> Perfetto JSON + text summary
 //
@@ -44,6 +46,7 @@ func main() {
 	allocCap := flag.Float64("alloc-cap", 500, "perf -verify: absolute allocs-per-simulation budget")
 	floorPct := flag.Float64("simsps-floor-pct", 50, "perf -verify: min simulations/sec as a percent of the baseline")
 	appsMin := flag.Float64("apps-min-speedup", 0.99, "apps: min whole-app auto/default speedup before failing")
+	servingMin := flag.Float64("serving-min-ratio", 0.99, "serving: min auto/default saturation-throughput ratio before failing")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -70,6 +73,7 @@ func main() {
 		fmt.Printf("  %-10s %s\n", "perf", "wall-clock simulator throughput -> BENCH_simperf.json")
 		fmt.Printf("  %-10s %s\n", "tune", "decision tables + auto-selection regret gate -> BENCH_simperf.json")
 		fmt.Printf("  %-10s %s\n", "apps", "whole-app kernel replay speedup gate -> BENCH_simperf.json")
+		fmt.Printf("  %-10s %s\n", "serving", "multi-tenant serving sweep + saturation gate -> BENCH_simperf.json")
 		fmt.Printf("  %-10s %s\n", "trace", "run one collective with tracing on -> Perfetto JSON + summary")
 		return
 	case "perf":
@@ -108,6 +112,18 @@ func main() {
 			err = runAppsVerify(*appsMin)
 		} else {
 			err = runApps(cfg, *effort, *appsMin)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	case "serving":
+		err := error(nil)
+		if *verify {
+			err = runServingVerify(cfg, *servingMin)
+		} else {
+			err = runServing(cfg, *effort, *servingMin)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

@@ -221,6 +221,7 @@ func runPerf(cfg scc.Config, effort int) error {
 //     (wall clock varies across machines, so these loose gates only
 //     catch gross regressions — the floor default tolerates a 2x
 //     slower CI host but fails on an order-of-magnitude collapse).
+//
 // allocSlackAbs is the absolute allocation jitter runPerfVerify
 // tolerates on top of the relative gate (see its doc comment).
 const allocSlackAbs = 2

@@ -1,0 +1,170 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+	"repro/internal/scc"
+)
+
+// The serving subcommand runs the multi-tenant serving sweep (the
+// fig-apps kernels as weighted tenants plus a Poisson telemetry stream,
+// served at increasing offered load), writes the load/latency cells and
+// the per-mesh saturation throughputs into BENCH_simperf.json's
+// "serving" section, and gates on two acceptance criteria: auto-selected
+// algorithms sustain at least min-ratio of the paper-default saturation
+// throughput on every mesh, and two runs of the same mix are
+// bit-identical. With -verify it re-checks the checked-in saturation
+// table plus a cheap 48-core determinism double-run — the CI gate on the
+// serving runtime.
+
+// servingCell is one row of the perf file's serving section.
+type servingCell struct {
+	Mesh          string  `json:"mesh"`
+	Cores         int     `json:"cores"`
+	Load          float64 `json:"load"`
+	Mode          string  `json:"mode"`
+	ThroughputRps float64 `json:"throughput_rps"`
+	P50Us         float64 `json:"p50_us"`
+	P99Us         float64 `json:"p99_us"`
+	Completed     int     `json:"completed"`
+	Rejected      int     `json:"rejected"`
+}
+
+// servingMesh is one row of the saturation summary the gate reads.
+type servingMesh struct {
+	Mesh       string  `json:"mesh"`
+	Cores      int     `json:"cores"`
+	DefaultRps float64 `json:"default_sat_rps"`
+	AutoRps    float64 `json:"auto_sat_rps"`
+	Ratio      float64 `json:"ratio"`
+}
+
+// servingSection is BENCH_simperf.json's "serving" value.
+type servingSection struct {
+	// MinRatioGate is the threshold the meshes were gated against;
+	// MinRatio is the worst observed mesh.
+	MinRatioGate float64       `json:"min_ratio_gate"`
+	MinRatio     float64       `json:"min_ratio"`
+	Meshes       []servingMesh `json:"meshes"`
+	Cells        []servingCell `json:"cells"`
+}
+
+// runServing runs the sweep, the determinism double-run, updates the
+// perf file and gates. minRatio is the failure threshold (slightly
+// below 1.0, like the apps gate: at saturation both modes ride the same
+// non-blocking lanes, so the expected ratio is parity within the noise
+// of straggler blocking dispatches; the regime where auto genuinely
+// wins — blocking selection on big collectives — is fig-apps' gate).
+func runServing(cfg scc.Config, effort int, minRatio float64) error {
+	cells := harness.ServingSweep(cfg, effort)
+	sats := harness.Saturation(cells)
+	harness.ServingTable(cells).Fprint(os.Stdout)
+	harness.SaturationTable(sats).Fprint(os.Stdout)
+
+	sec := servingSection{MinRatioGate: minRatio, MinRatio: sats[0].Ratio}
+	for _, c := range cells {
+		sec.Cells = append(sec.Cells, servingCell{
+			Mesh:  fmt.Sprintf("%dx%d", c.Topo.W, c.Topo.H),
+			Cores: c.Topo.NumCores(), Load: c.Load, Mode: modeName(c.Mode),
+			ThroughputRps: c.ThroughputRps, P50Us: c.P50Us, P99Us: c.P99Us,
+			Completed: c.Completed, Rejected: c.Rejected,
+		})
+	}
+	for _, s := range sats {
+		sec.Meshes = append(sec.Meshes, servingMesh{
+			Mesh:       fmt.Sprintf("%dx%d", s.Topo.W, s.Topo.H),
+			Cores:      s.Topo.NumCores(),
+			DefaultRps: s.DefaultRps, AutoRps: s.AutoRps, Ratio: s.Ratio,
+		})
+		if s.Ratio < sec.MinRatio {
+			sec.MinRatio = s.Ratio
+		}
+	}
+	if err := patchPerfFile(map[string]any{"serving": sec}); err != nil {
+		return err
+	}
+	fmt.Printf("serving: %d cells over %d mesh(es), min saturation ratio %.4fx (gate %.2fx), wrote %s\n",
+		len(sec.Cells), len(sec.Meshes), sec.MinRatio, minRatio, perfFile)
+	if err := servingDeterminism(cfg); err != nil {
+		return err
+	}
+	return gateServing(sec, minRatio)
+}
+
+// runServingVerify gates the checked-in serving section without
+// re-running the sweep, then re-checks determinism with one cheap
+// 48-core double-run — the CI gate.
+func runServingVerify(cfg scc.Config, minRatio float64) error {
+	raw, err := os.ReadFile(perfFile)
+	if err != nil {
+		return fmt.Errorf("serving -verify: %w (run `ocbench serving` first)", err)
+	}
+	var doc struct {
+		Serving *servingSection `json:"serving"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return fmt.Errorf("serving -verify: %s: %w", perfFile, err)
+	}
+	if doc.Serving == nil || len(doc.Serving.Meshes) == 0 {
+		return fmt.Errorf("serving -verify: %s has no serving section (run `ocbench serving`)", perfFile)
+	}
+	// The acceptance criteria name both the 48-core and 384-core meshes.
+	seen := map[int]bool{}
+	for _, m := range doc.Serving.Meshes {
+		seen[m.Cores] = true
+	}
+	for _, cores := range []int{48, 384} {
+		if !seen[cores] {
+			return fmt.Errorf("serving -verify: no %d-core mesh in the checked-in table (run `ocbench serving -effort 2`)", cores)
+		}
+	}
+	fmt.Printf("serving -verify: %d checked-in cells over %d meshes, min saturation ratio %.4fx (gate %.2fx)\n",
+		len(doc.Serving.Cells), len(doc.Serving.Meshes), doc.Serving.MinRatio, minRatio)
+	if err := servingDeterminism(cfg); err != nil {
+		return err
+	}
+	return gateServing(*doc.Serving, minRatio)
+}
+
+// servingDeterminism is the bit-identical acceptance check: the same
+// 48-core mix served twice on fresh Systems must produce byte-identical
+// stats (every completion clock, every counter).
+func servingDeterminism(cfg scc.Config) error {
+	a := harness.MeasureServe(cfg, scc.SCC(), 1, "auto").Fingerprint()
+	b := harness.MeasureServe(cfg, scc.SCC(), 1, "auto").Fingerprint()
+	if a != b {
+		return fmt.Errorf("serving: two runs of the same mix diverged — serving is not deterministic")
+	}
+	fmt.Println("serving: determinism double-run OK (48 cores, bit-identical stats)")
+	return nil
+}
+
+// gateServing fails when any mesh's auto saturation throughput falls
+// below the ratio gate.
+func gateServing(sec servingSection, minRatio float64) error {
+	var bad []servingMesh
+	for _, m := range sec.Meshes {
+		if m.Ratio < minRatio {
+			bad = append(bad, m)
+		}
+	}
+	if len(bad) == 0 {
+		return nil
+	}
+	for _, m := range bad {
+		fmt.Fprintf(os.Stderr, "serving: SLOWDOWN on %s (%d cores): auto %.0f req/s vs default %.0f req/s (%.4fx < %.2fx)\n",
+			m.Mesh, m.Cores, m.AutoRps, m.DefaultRps, m.Ratio, minRatio)
+	}
+	return fmt.Errorf("serving: %d mesh(es) below the %.2fx saturation-throughput gate", len(bad), minRatio)
+}
+
+// modeName renders Options.Algorithm for the perf file.
+func modeName(mode string) string {
+	if mode == "" {
+		return "default"
+	}
+	return mode
+}

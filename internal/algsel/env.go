@@ -37,6 +37,12 @@ type ocKey struct{ k, chunk int }
 // registry-routed calls byte-identical to the named methods.
 func NewEnv(c *rma.Core, port *rcce.Port, base core.Config,
 	defaultOC *occoll.Collectives, defaultBC *core.Broadcaster) *Env {
+	if defaultBC != nil {
+		// In mixed one-/two-sided programs the broadcaster's private
+		// root-change fence lines alias RCCE's handshake lines; route its
+		// quiesce through the shared barrier epoch (see core.SetFence).
+		defaultBC.SetFence(port)
+	}
 	return &Env{
 		Core: c, Port: port, Comm: collective.NewComm(port), Base: base,
 		defaultOC: defaultOC, defaultBC: defaultBC,
@@ -85,6 +91,7 @@ func (e *Env) Bcaster(ch Choice) *core.Broadcaster {
 		e.bcs = make(map[ocKey]*core.Broadcaster)
 	}
 	b := core.NewBroadcaster(e.Core, cfg)
+	b.SetFence(e.Port)
 	e.bcs[key] = b
 	return b
 }

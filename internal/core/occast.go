@@ -100,7 +100,13 @@ type Broadcaster struct {
 	base     uint64
 	lastRoot int
 	fenceSeq uint64
+	fencer   Fencer // optional shared quiesce (SetFence)
 }
+
+// Fencer is a chip-wide barrier the broadcaster can route its
+// root-change quiesce through (rcce.Port implements it). An interface
+// rather than a func value so wiring one per core stays allocation-free.
+type Fencer interface{ Barrier() }
 
 // NewBroadcaster prepares OC-Bcast state for one core. The buffer/flag
 // layout (and the fence lines above) anchor at the paper-standard
@@ -114,6 +120,19 @@ func NewBroadcaster(core *rma.Core, cfg Config) *Broadcaster {
 	return &Broadcaster{core: core, cfg: cfg, lastRoot: -1}
 }
 
+// SetFence routes the root-change quiesce through f instead of the
+// private fence barrier below. Programs that mix OC-Bcast with the
+// two-sided layer need this: the private fence's flag lines (the top
+// three MPB lines) double as RCCE's handshake lines, and its private
+// sequence numbers alias their values, so when the two layers overlap in
+// time a fence wait can be falsely satisfied by a stale handshake tag —
+// or a fence write can clobber a handshake a peer is still waiting on.
+// Routing every quiesce through one shared primitive (rcce's barrier,
+// which runs the same gather-release tree on disjoint lines with a
+// single monotonic epoch) removes the aliasing. algsel wires this;
+// standalone OC-Bcast programs keep the private fence.
+func (b *Broadcaster) SetFence(f Fencer) { b.fencer = f }
+
 // fence is a gather-release binary-tree barrier over three dedicated MPB
 // flag lines. OC-Bcast's per-core notify lines have a single writer only
 // while the tree shape is fixed; when the root changes between
@@ -122,6 +141,10 @@ func NewBroadcaster(core *rma.Core, cfg Config) *Broadcaster {
 // tree. (The paper's experiments always broadcast from core 0, so the
 // fence never triggers there.)
 func (b *Broadcaster) fence() {
+	if b.fencer != nil {
+		b.fencer.Barrier()
+		return
+	}
 	b.fenceSeq++
 	c := b.core
 	me, n := c.ID(), c.N()

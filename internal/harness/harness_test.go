@@ -207,8 +207,8 @@ func TestHeadline(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	reg := Registry()
-	if len(reg) != 15 {
-		t.Fatalf("registry has %d experiments, want 15", len(reg))
+	if len(reg) != 16 {
+		t.Fatalf("registry has %d experiments, want 16", len(reg))
 	}
 	if _, err := Lookup("fig8a"); err != nil {
 		t.Fatal(err)

@@ -89,6 +89,12 @@ func Registry() []Experiment {
 			},
 		},
 		{
+			Name: "fig-serving", Desc: "multi-tenant serving: load vs throughput/latency, default vs auto",
+			Run: func(cfg scc.Config, effort int) ([]*Table, error) {
+				return FigServing(cfg, effort), nil
+			},
+		},
+		{
 			Name: "fig-scale", Desc: "model vs simulation across mesh sizes 48-384 cores",
 			Run: func(cfg scc.Config, effort int) ([]*Table, error) {
 				return []*Table{FigScale(cfg, effort)}, nil

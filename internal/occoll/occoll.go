@@ -166,6 +166,22 @@ func New(c *rma.Core, port *rcce.Port, cfg Config) *Collectives {
 // numBuffers reports the lane chunk-buffer count for this core's config.
 func (x *Collectives) numBuffers() int { return numBuffers(x.cfg) }
 
+// Lanes reports the configured lane count.
+func (x *Collectives) Lanes() int { return len(x.lanes) }
+
+// LaneIssues reports how many non-blocking collectives each MPB lane has
+// carried on this core, indexed by lane. Lanes are claimed round-robin
+// by issue order, so the counts differ by at most one; multi-lane
+// clients (the serving runtime spreads concurrent batches over lanes)
+// assert their dispatch really used the fan-out they configured.
+func (x *Collectives) LaneIssues() []uint64 {
+	out := make([]uint64, len(x.lanes))
+	for i, l := range x.lanes {
+		out[i] = l.issues
+	}
+	return out
+}
+
 // lane is one independent slice of the MPB layout: chunk buffers plus a
 // flag block. All cores use identical lane layouts, so a lane's line
 // numbers address the same protocol slot on every peer. Flag waits
@@ -179,6 +195,9 @@ type lane struct {
 	dataBase int
 	flagBase int
 	req      *Request // current/last request occupying the lane
+	// issues counts the non-blocking collectives this lane has carried
+	// (LaneIssues aggregates it for allocation accounting).
+	issues uint64
 	// dnUsed is streamDown's reusable slot-occupancy table.
 	dnUsed []occupant
 }

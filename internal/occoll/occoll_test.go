@@ -234,3 +234,38 @@ func TestSingleCoreNoOp(t *testing.T) {
 		x.AllGather(0, 4)
 	})
 }
+
+// TestLaneIssueAccounting pins the round-robin lane claim: issues spread
+// over the configured lanes with counts differing by at most one, and
+// LaneIssues sums to the total issue count.
+func TestLaneIssueAccounting(t *testing.T) {
+	const n, lanes, issues = 4, 3, 7
+	cfg := Config{K: 2, BufLines: 2, DoubleBuffer: true, Channels: lanes}
+	counts := make([]uint64, lanes)
+	run(n, cfg, func(c *rma.Core, x *Collectives) {
+		if x.Lanes() != lanes {
+			t.Errorf("Lanes() = %d, want %d", x.Lanes(), lanes)
+		}
+		for i := 0; i < issues; i++ {
+			x.IAllReduce(0, 1, collective.SumInt64).Wait()
+		}
+		x.Finish()
+		if c.ID() == 0 {
+			copy(counts, x.LaneIssues())
+		}
+	})
+	var total uint64
+	for i, got := range counts {
+		want := uint64(issues / lanes)
+		if i < issues%lanes {
+			want++
+		}
+		if got != want {
+			t.Errorf("lane %d carried %d issues, want %d (round-robin)", i, got, want)
+		}
+		total += got
+	}
+	if total != issues {
+		t.Errorf("lane issues sum to %d, want %d", total, issues)
+	}
+}

@@ -118,6 +118,7 @@ func (x *Collectives) issue(op string, root, addr, lines int, rop ReduceOp, run 
 	}
 	l := x.lanes[int(x.nissued)%len(x.lanes)]
 	x.nissued++
+	l.issues++
 	if l.req != nil && !l.req.done {
 		// The lane's previous collective is still in flight: drive it to
 		// local completion before reusing the lane. Deterministic and

@@ -1,0 +1,211 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/workload"
+)
+
+// The ocserve text format: a serving spec — runtime configuration plus
+// tenant mix — as a line-oriented file, the serving sibling of the
+// octrace grammar (internal/workload/format.go):
+//
+//	ocserve v1
+//	policy wrr
+//	queue 16
+//	batch 8 256
+//	lanes 4
+//	tenant sgd 3
+//	req allreduce 0 64 12.5
+//	req allreduce 0 256 0
+//	tenant telemetry 1
+//	req bcast 2 8 400
+//
+// Configuration directives (each optional, zero/default when absent)
+// come first: `policy rr|wrr`, `queue <bound>`, `batch <maxreqs>
+// <maxlines>`, `lanes <n>`. Then one `tenant <name> <weight>` per
+// stream, each followed by its `req <op> <root> <lines> <gap_us>`
+// arrivals in order; root is written 0 for the unrooted ops, gap_us is
+// the inter-arrival gap in microseconds. Blank lines and #-comments are
+// ignored. Format emits the canonical form (directives for non-zero
+// fields only); Parse(Format(spec)) reproduces the spec exactly — the
+// fuzz target holds the round-trip to that.
+
+// Spec is a parsed serving spec: the runtime configuration and the
+// tenant mix.
+type Spec struct {
+	Config  Config
+	Streams []Stream
+}
+
+// specHeader is the required first line.
+const specHeader = "ocserve v1"
+
+// Parse reads an ocserve spec. Every error names the offending line.
+// A parsed spec is statically valid: the configuration passes
+// Config.Validate and the streams pass ValidateStreams against an
+// unbounded chip (root-vs-core-count is checked at Serve time, when the
+// chip is known).
+func Parse(data []byte) (*Spec, error) {
+	sp := &Spec{}
+	sawHeader := false
+	sawTenant := false
+	cur := -1
+	for ln, line := range strings.Split(string(data), "\n") {
+		lineNo := ln + 1
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if !sawHeader {
+			if len(fields) != 2 || fields[0]+" "+fields[1] != specHeader {
+				return nil, fmt.Errorf("serve: line %d: missing %q header", lineNo, specHeader)
+			}
+			sawHeader = true
+			continue
+		}
+		switch fields[0] {
+		case "policy":
+			if sawTenant {
+				return nil, fmt.Errorf("serve: line %d: policy directive after the first tenant", lineNo)
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("serve: line %d: want `policy rr|wrr`", lineNo)
+			}
+			sp.Config.Policy = fields[1]
+		case "queue":
+			if err := parseDirective(sawTenant, fields, 1, lineNo); err != nil {
+				return nil, err
+			}
+			v, err := parseInt(fields[1], "queue bound", lineNo)
+			if err != nil {
+				return nil, err
+			}
+			sp.Config.QueueBound = v
+		case "batch":
+			if err := parseDirective(sawTenant, fields, 2, lineNo); err != nil {
+				return nil, err
+			}
+			v, err := parseInt(fields[1], "batch max requests", lineNo)
+			if err != nil {
+				return nil, err
+			}
+			w, err := parseInt(fields[2], "batch max lines", lineNo)
+			if err != nil {
+				return nil, err
+			}
+			sp.Config.MaxBatch, sp.Config.MaxBatchLines = v, w
+		case "lanes":
+			if err := parseDirective(sawTenant, fields, 1, lineNo); err != nil {
+				return nil, err
+			}
+			v, err := parseInt(fields[1], "lanes", lineNo)
+			if err != nil {
+				return nil, err
+			}
+			sp.Config.Lanes = v
+		case "tenant":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("serve: line %d: want `tenant <name> <weight>`", lineNo)
+			}
+			w, err := parseInt(fields[2], "tenant weight", lineNo)
+			if err != nil {
+				return nil, err
+			}
+			sp.Streams = append(sp.Streams, Stream{Tenant: fields[1], Weight: w})
+			sawTenant = true
+			cur = len(sp.Streams) - 1
+		case "req":
+			if cur < 0 {
+				return nil, fmt.Errorf("serve: line %d: req before any tenant", lineNo)
+			}
+			if len(fields) != 5 {
+				return nil, fmt.Errorf("serve: line %d: want `req <op> <root> <lines> <gap_us>`", lineNo)
+			}
+			root, err := parseInt(fields[2], "root", lineNo)
+			if err != nil {
+				return nil, err
+			}
+			lines, err := parseInt(fields[3], "lines", lineNo)
+			if err != nil {
+				return nil, err
+			}
+			gap, err := strconv.ParseFloat(fields[4], 64)
+			if err != nil {
+				return nil, fmt.Errorf("serve: line %d: bad gap_us %q", lineNo, fields[4])
+			}
+			sp.Streams[cur].Reqs = append(sp.Streams[cur].Reqs,
+				Req{Op: fields[1], Root: root, Lines: lines, GapUs: gap})
+		default:
+			return nil, fmt.Errorf("serve: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("serve: missing %q header", specHeader)
+	}
+	if err := sp.Config.Validate(); err != nil {
+		return nil, err
+	}
+	// Static validation only: roots are checked against workload.MaxRoot
+	// here and against the actual chip at Serve time.
+	if err := ValidateStreams(sp.Streams, workload.MaxRoot+1); err != nil {
+		return nil, err
+	}
+	return sp, nil
+}
+
+// parseDirective checks a config directive's position and arity.
+func parseDirective(sawTenant bool, fields []string, args, lineNo int) error {
+	if sawTenant {
+		return fmt.Errorf("serve: line %d: %s directive after the first tenant", lineNo, fields[0])
+	}
+	if len(fields) != args+1 {
+		return fmt.Errorf("serve: line %d: %s directive wants %d argument(s)", lineNo, fields[0], args)
+	}
+	return nil
+}
+
+// parseInt parses a non-negative bounded integer field.
+func parseInt(s, what string, lineNo int) (int, error) {
+	v, err := strconv.ParseInt(s, 10, 32)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("serve: line %d: bad %s %q", lineNo, what, s)
+	}
+	return int(v), nil
+}
+
+// Format renders the spec in canonical ocserve form: header, non-zero
+// configuration directives in fixed order, then tenants and requests in
+// order. Parse(Format(sp)) reproduces sp exactly.
+func Format(sp *Spec) []byte {
+	var b bytes.Buffer
+	b.WriteString(specHeader)
+	b.WriteByte('\n')
+	c := sp.Config
+	if c.Policy != "" {
+		fmt.Fprintf(&b, "policy %s\n", c.Policy)
+	}
+	if c.QueueBound != 0 {
+		fmt.Fprintf(&b, "queue %d\n", c.QueueBound)
+	}
+	if c.MaxBatch != 0 || c.MaxBatchLines != 0 {
+		fmt.Fprintf(&b, "batch %d %d\n", c.MaxBatch, c.MaxBatchLines)
+	}
+	if c.Lanes != 0 {
+		fmt.Fprintf(&b, "lanes %d\n", c.Lanes)
+	}
+	for _, s := range sp.Streams {
+		fmt.Fprintf(&b, "tenant %s %d\n", s.Tenant, s.Weight)
+		for _, r := range s.Reqs {
+			fmt.Fprintf(&b, "req %s %d %d %s\n", r.Op, r.Root, r.Lines,
+				strconv.FormatFloat(r.GapUs, 'g', -1, 64))
+		}
+	}
+	return b.Bytes()
+}

@@ -1,0 +1,115 @@
+package serve
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func mustParse(t *testing.T, text string) *Spec {
+	t.Helper()
+	sp, err := Parse([]byte(text))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return sp
+}
+
+func TestParseSpec(t *testing.T) {
+	sp := mustParse(t, `
+# serving mix for the fig-serving experiment
+ocserve v1
+policy wrr
+queue 16
+batch 8 256
+lanes 4
+
+tenant sgd 3
+req allreduce 0 64 12.5
+req bcast 2 8 0
+tenant telemetry 1   # best-effort
+req gather 0 4 400
+`)
+	want := &Spec{
+		Config: Config{Policy: PolicyWeighted, QueueBound: 16, MaxBatch: 8, MaxBatchLines: 256, Lanes: 4},
+		Streams: []Stream{
+			{Tenant: "sgd", Weight: 3, Reqs: []Req{
+				{Op: workload.OpAllReduce, Lines: 64, GapUs: 12.5},
+				{Op: workload.OpBcast, Root: 2, Lines: 8},
+			}},
+			{Tenant: "telemetry", Weight: 1, Reqs: []Req{
+				{Op: workload.OpGather, Lines: 4, GapUs: 400},
+			}},
+		},
+	}
+	if !reflect.DeepEqual(sp, want) {
+		t.Fatalf("parsed\n%+v\nwant\n%+v", sp, want)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, text, wantSub string
+	}{
+		{"no header", "policy rr\n", "header"},
+		{"wrong header", "octrace v1\n", "header"},
+		{"empty", "", "header"},
+		{"unknown directive", "ocserve v1\nshard 3\n", "unknown directive"},
+		{"bad policy", "ocserve v1\npolicy fifo\ntenant a 1\nreq bcast 0 1 0\n", "policy"},
+		{"policy arity", "ocserve v1\npolicy\n", "policy"},
+		{"late directive", "ocserve v1\ntenant a 1\nreq bcast 0 1 0\nqueue 4\n", "after the first tenant"},
+		{"bad queue", "ocserve v1\nqueue -2\n", "queue"},
+		{"batch arity", "ocserve v1\nbatch 8\n", "batch"},
+		{"bad lanes", "ocserve v1\nlanes many\n", "lanes"},
+		{"tenant arity", "ocserve v1\ntenant a\n", "tenant"},
+		{"bad weight", "ocserve v1\ntenant a x\n", "weight"},
+		{"req before tenant", "ocserve v1\nreq bcast 0 1 0\n", "before any tenant"},
+		{"req arity", "ocserve v1\ntenant a 1\nreq bcast 0 1\n", "req"},
+		{"bad op", "ocserve v1\ntenant a 1\nreq alltoall 0 1 0\n", "op"},
+		{"bad gap", "ocserve v1\ntenant a 1\nreq bcast 0 1 NaN\n", "gap"},
+		{"zero lines", "ocserve v1\ntenant a 1\nreq bcast 0 0 0\n", "lines"},
+		{"dup tenant", "ocserve v1\ntenant a 1\nreq bcast 0 1 0\ntenant a 1\nreq bcast 0 1 0\n", "duplicate"},
+		{"empty tenant", "ocserve v1\ntenant a 1\ntenant b 1\nreq bcast 0 1 0\n", "no requests"},
+		{"no tenants", "ocserve v1\n", "no tenant"},
+	}
+	for _, c := range cases {
+		if _, err := Parse([]byte(c.text)); err == nil {
+			t.Errorf("%s: parsed", c.name)
+		} else if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%s: error %q lacks %q", c.name, err, c.wantSub)
+		}
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	specs := []*Spec{
+		{
+			Streams: []Stream{{Tenant: "a", Reqs: []Req{{Op: workload.OpBcast, Lines: 1}}}},
+		},
+		{
+			Config: Config{Policy: PolicyRoundRobin, QueueBound: 7, MaxBatchLines: 128, Lanes: 2},
+			Streams: []Stream{
+				{Tenant: "x-1._y", Weight: 9, Reqs: []Req{
+					{Op: workload.OpScatter, Root: 3, Lines: 16, GapUs: 0.3333333333333333},
+					{Op: workload.OpAllGather, Lines: 2, GapUs: 1e6},
+				}},
+				{Tenant: "z", Reqs: []Req{{Op: workload.OpReduce, Root: 1, Lines: 5, GapUs: 1e-12}}},
+			},
+		},
+	}
+	for i, sp := range specs {
+		text := Format(sp)
+		got, err := Parse(text)
+		if err != nil {
+			t.Fatalf("spec %d: reparse: %v\n%s", i, err, text)
+		}
+		if !reflect.DeepEqual(got, sp) {
+			t.Fatalf("spec %d round-trip:\ngot  %+v\nwant %+v\ntext:\n%s", i, got, sp, text)
+		}
+		if again := Format(got); string(again) != string(text) {
+			t.Fatalf("spec %d: Format not canonical:\n%s\nvs\n%s", i, text, again)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package serve
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// TenantMetrics is one tenant's serving outcome.
+type TenantMetrics struct {
+	// Tenant and Weight echo the stream.
+	Tenant string `json:"tenant"`
+	Weight int    `json:"weight"`
+	// Offered counts the stream's arrivals; Admitted and Rejected split
+	// them at the admission bound; Completed counts finished requests
+	// (everything admitted, once the run drains).
+	Offered   int `json:"offered"`
+	Admitted  int `json:"admitted"`
+	Rejected  int `json:"rejected"`
+	Completed int `json:"completed"`
+	// StarvedRounds counts dispatch rounds the tenant sat backlogged
+	// without placing a single request in any batch.
+	StarvedRounds int `json:"starved_rounds"`
+	// Completion latency (done − arrival, µs) over completed requests.
+	P50Us  float64 `json:"p50_us"`
+	P99Us  float64 `json:"p99_us"`
+	MeanUs float64 `json:"mean_us"`
+	MaxUs  float64 `json:"max_us"`
+	// ThroughputRps is the tenant's completions per second of the run's
+	// makespan.
+	ThroughputRps float64 `json:"throughput_rps"`
+}
+
+// Result is one serving run's outcome: aggregate counters, latency
+// percentiles and the per-tenant breakdown. Two runs of the same mix on
+// the same chip produce byte-identical Results (Fingerprint checks it).
+type Result struct {
+	// Policy echoes the resolved fairness policy.
+	Policy string `json:"policy"`
+	// Rounds counts dispatch rounds, IdleRounds the empty-queue rounds
+	// that advanced time to the next arrival, Batches the dispatched
+	// collectives.
+	Rounds     int `json:"rounds"`
+	IdleRounds int `json:"idle_rounds"`
+	Batches    int `json:"batches"`
+	// Aggregate admission and completion counters across tenants.
+	Offered   int `json:"offered"`
+	Admitted  int `json:"admitted"`
+	Rejected  int `json:"rejected"`
+	Completed int `json:"completed"`
+	// BatchOccupancy is the mean requests coalesced per batch.
+	BatchOccupancy float64 `json:"batch_occupancy"`
+	// StartUs is the earliest arrival, EndUs the latest completion,
+	// MakespanUs their difference — the denominator of the throughputs.
+	StartUs    float64 `json:"start_us"`
+	EndUs      float64 `json:"end_us"`
+	MakespanUs float64 `json:"makespan_us"`
+	// ThroughputRps is aggregate completions per second; P50Us/P99Us are
+	// completion-latency percentiles over all completed requests.
+	ThroughputRps float64 `json:"throughput_rps"`
+	P50Us         float64 `json:"p50_us"`
+	P99Us         float64 `json:"p99_us"`
+	// Tenants is the per-tenant breakdown, in stream order.
+	Tenants []TenantMetrics `json:"tenants"`
+	// DoneUs is the raw per-request completion clock (global id order;
+	// 0 = not completed). It feeds Fingerprint and the conformance
+	// suite; it is omitted from JSON.
+	DoneUs []float64 `json:"-"`
+}
+
+// Collect aggregates one replica's counters and the shared board into a
+// Result. Pass replica 0 by convention (all replicas hold identical
+// counters; the board is shared).
+func Collect(s *Sched, b *Board) Result {
+	res := Result{
+		Policy:     s.cfg.policy(),
+		Rounds:     s.rounds,
+		IdleRounds: s.idleRounds,
+		Batches:    s.nbatches,
+		DoneUs:     append([]float64(nil), b.DoneUs...),
+		Tenants:    make([]TenantMetrics, len(s.streams)),
+	}
+	if s.nbatches > 0 {
+		res.BatchOccupancy = float64(s.batchReqs) / float64(s.nbatches)
+	}
+	var all []float64
+	var lat []float64
+	first, last := 0.0, 0.0
+	haveFirst := false
+	for t, st := range s.streams {
+		tm := &res.Tenants[t]
+		tm.Tenant, tm.Weight = st.Tenant, st.weight()
+		tm.Offered = len(st.Reqs)
+		tm.Admitted = s.admitted[t]
+		tm.Rejected = s.rejected[t]
+		tm.StarvedRounds = s.starved[t]
+		if len(st.Reqs) > 0 {
+			if a := s.arrival[t][0]; !haveFirst || a < first {
+				first, haveFirst = a, true
+			}
+		}
+		lat = lat[:0]
+		for i := range st.Reqs {
+			id := s.off[t] + i
+			if s.state[id] != stDone {
+				continue
+			}
+			tm.Completed++
+			done := b.DoneUs[id]
+			lat = append(lat, done-s.arrival[t][i])
+			if done > last {
+				last = done
+			}
+		}
+		if len(lat) > 0 {
+			sum := stats.Summarize(lat)
+			tm.P50Us, tm.P99Us = sum.P50, sum.P99
+			tm.MeanUs, tm.MaxUs = sum.Mean, sum.Max
+			all = append(all, lat...)
+		}
+		res.Offered += tm.Offered
+		res.Admitted += tm.Admitted
+		res.Rejected += tm.Rejected
+		res.Completed += tm.Completed
+	}
+	res.StartUs, res.EndUs = first, last
+	res.MakespanUs = last - first
+	if res.MakespanUs > 0 {
+		res.ThroughputRps = float64(res.Completed) / res.MakespanUs * 1e6
+		for t := range res.Tenants {
+			res.Tenants[t].ThroughputRps = float64(res.Tenants[t].Completed) / res.MakespanUs * 1e6
+		}
+	}
+	if len(all) > 0 {
+		sum := stats.Summarize(all)
+		res.P50Us, res.P99Us = sum.P50, sum.P99
+	}
+	return res
+}
+
+// Fingerprint renders every counter and every raw completion clock of
+// the result into one string, floats in exact hexadecimal — two results
+// are byte-identical iff their fingerprints are equal. The determinism
+// gates (conformance suite, ocbench -verify serving) compare
+// fingerprints of repeated runs.
+func (r Result) Fingerprint() string {
+	var sb strings.Builder
+	num := func(v float64) {
+		sb.WriteByte(' ')
+		sb.WriteString(strconv.FormatFloat(v, 'x', -1, 64))
+	}
+	cnt := func(v int) {
+		sb.WriteByte(' ')
+		sb.WriteString(strconv.Itoa(v))
+	}
+	sb.WriteString(r.Policy)
+	cnt(r.Rounds)
+	cnt(r.IdleRounds)
+	cnt(r.Batches)
+	cnt(r.Offered)
+	cnt(r.Admitted)
+	cnt(r.Rejected)
+	cnt(r.Completed)
+	num(r.BatchOccupancy)
+	num(r.StartUs)
+	num(r.EndUs)
+	num(r.ThroughputRps)
+	num(r.P50Us)
+	num(r.P99Us)
+	for _, tm := range r.Tenants {
+		sb.WriteByte('\n')
+		sb.WriteString(tm.Tenant)
+		cnt(tm.Weight)
+		cnt(tm.Offered)
+		cnt(tm.Admitted)
+		cnt(tm.Rejected)
+		cnt(tm.Completed)
+		cnt(tm.StarvedRounds)
+		num(tm.P50Us)
+		num(tm.P99Us)
+		num(tm.MeanUs)
+		num(tm.MaxUs)
+	}
+	sb.WriteString("\ndone")
+	for _, d := range r.DoneUs {
+		num(d)
+	}
+	return sb.String()
+}

@@ -24,6 +24,7 @@ func TestSmokeExamples(t *testing.T) {
 	for _, example := range []string{
 		"quickstart", "collectives", "allreduce", "autotune",
 		"contention", "ksweep", "mpmd-os", "spmd-stencil", "replay",
+		"serving",
 	} {
 		example := example
 		t.Run(example, func(t *testing.T) {
