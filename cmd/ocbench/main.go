@@ -24,16 +24,69 @@
 //	-effort N        scale repetition counts (default 2)
 //	-no-contention   disable the MPB-port contention model
 //	-no-cache        disable the L1 model for private-memory reads
+//	-cpuprofile F    write a CPU profile of the whole run to F (go tool pprof)
+//	-memprofile F    write a heap profile at exit to F
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/harness"
 	"repro/internal/scc"
 )
+
+// stopProfiles finalizes any profiles requested on the command line; it
+// must run before every exit path (os.Exit skips deferred calls, so the
+// exit helper below routes through it explicitly).
+var stopProfiles = func() {}
+
+// exit finalizes profiles and terminates with the given status.
+func exit(code int) {
+	stopProfiles()
+	os.Exit(code)
+}
+
+// startProfiles begins CPU profiling and/or arranges a heap snapshot
+// according to the -cpuprofile/-memprofile flags, returning the cleanup
+// the exit paths must call. Profiles cover the whole subcommand run —
+// point `go tool pprof` at the ocbench binary and the written file.
+func startProfiles(cpuProfile, memProfile string) func() {
+	var cpuFile *os.File
+	if cpuProfile != "" {
+		f, err := os.Create(cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memProfile != "" {
+			f, err := os.Create(memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the snapshot shows live objects
+			if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}
+	}
+}
 
 func main() {
 	effort := flag.Int("effort", 2, "repetition-count multiplier (>=1)")
@@ -47,8 +100,14 @@ func main() {
 	floorPct := flag.Float64("simsps-floor-pct", 50, "perf -verify: min simulations/sec as a percent of the baseline")
 	appsMin := flag.Float64("apps-min-speedup", 0.99, "apps: min whole-app auto/default speedup before failing")
 	servingMin := flag.Float64("serving-min-ratio", 0.99, "serving: min auto/default saturation-throughput ratio before failing")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
+	perfLabel := flag.String("perf-label", "dev", "perf: history-entry label (use the PR name; a matching entry is replaced)")
 	flag.Usage = usage
 	flag.Parse()
+
+	stopProfiles = startProfiles(*cpuProfile, *memProfile)
+	defer stopProfiles()
 
 	if *effort < 1 {
 		*effort = 1
@@ -60,7 +119,7 @@ func main() {
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
-		os.Exit(2)
+		exit(2)
 	}
 
 	var names []string
@@ -81,17 +140,17 @@ func main() {
 		if *verify {
 			err = runPerfVerify(cfg, *allocMax, *wallMax, *allocCap, *floorPct)
 		} else {
-			err = runPerf(cfg, *effort)
+			err = runPerf(cfg, *effort, *perfLabel)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			exit(1)
 		}
 		return
 	case "trace":
 		if err := runTrace(args[1:], *noContention); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			exit(1)
 		}
 		return
 	case "tune":
@@ -103,7 +162,7 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			exit(1)
 		}
 		return
 	case "apps":
@@ -115,7 +174,7 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			exit(1)
 		}
 		return
 	case "serving":
@@ -127,7 +186,7 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			exit(1)
 		}
 		return
 	case "all":
@@ -148,12 +207,12 @@ func main() {
 		exp, err := harness.Lookup(name)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			exit(1)
 		}
 		tables, err := exp.Run(cfg, *effort)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
-			os.Exit(1)
+			exit(1)
 		}
 		for _, t := range tables {
 			t.Fprint(os.Stdout)

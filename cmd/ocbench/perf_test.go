@@ -1,0 +1,136 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// Baselines and measurements for the gate tests: a healthy measurement
+// exactly on the baseline, mutated per case.
+func basePerf() workloadPerf {
+	return workloadPerf{Iters: 40, MsPerSim: 0.5, SimsPerSec: 2000, AllocsPerSim: 300, SimulatedUs: 156.594}
+}
+
+func gates() perfGates {
+	return perfGates{AllocMaxPct: 2, WallMaxPct: 50, AllocCap: 500, FloorPct: 60}
+}
+
+func TestCheckPerfPasses(t *testing.T) {
+	meas := basePerf()
+	if _, err := checkPerf(basePerf(), meas, gates()); err != nil {
+		t.Fatalf("on-baseline measurement failed the gate: %v", err)
+	}
+}
+
+func TestCheckPerfGates(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*workloadPerf)
+		want   string // substring of the expected error; "" = pass
+	}{
+		{"simulated time drift", func(w *workloadPerf) { w.SimulatedUs += 0.001 }, "simulated time drifted"},
+		{"alloc drift over pct and abs", func(w *workloadPerf) { w.AllocsPerSim += 50 }, "allocations per simulation changed"},
+		{"alloc drift within abs slack", func(w *workloadPerf) { w.AllocsPerSim += allocSlackAbs }, ""},
+		{"wall clock blowup", func(w *workloadPerf) { w.MsPerSim *= 1.6 }, "wall clock per simulation"},
+		// 1.4x slower stays under the +50% wall gate but sinks sims/s
+		// (1000/0.7 ≈ 1428) below the 60% floor (1200)? No — 1428 > 1200,
+		// so the floor needs a harsher slowdown than the wall gate allows:
+		// the floor only bites when the baseline sims/s and ms/sim
+		// disagree (different hosts), modeled by raising SimsPerSec.
+		{"sims/s floor", func(w *workloadPerf) { w.MsPerSim *= 1.4 }, ""},
+	}
+	for _, tc := range cases {
+		meas := basePerf()
+		tc.mutate(&meas)
+		_, err := checkPerf(basePerf(), meas, gates())
+		if tc.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected gate failure: %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+
+	// Absolute cap: a baseline that crept over the budget fails even with
+	// zero drift — the cap is independent of the relative gate.
+	base := basePerf()
+	base.AllocsPerSim = 501
+	meas := basePerf()
+	meas.AllocsPerSim = 501
+	if _, err := checkPerf(base, meas, gates()); err == nil || !strings.Contains(err.Error(), "over the absolute budget") {
+		t.Errorf("alloc cap: error %v, want substring %q", err, "over the absolute budget")
+	}
+
+	// Floor violation proper: baseline claims far higher sims/s than the
+	// measured ms/sim implies (e.g. the baseline host was faster).
+	base = basePerf()
+	base.SimsPerSec = 4000 // floor at 60% = 2400 sims/s
+	meas = basePerf()      // measures 1000/0.5 = 2000 sims/s
+	if _, err := checkPerf(base, meas, gates()); err == nil || !strings.Contains(err.Error(), "below the floor") {
+		t.Errorf("floor: error %v, want substring %q", err, "below the floor")
+	}
+}
+
+// TestBcastBaselineShapes pins the file-shape contract: the verifier
+// reads the engine section when present, falls back to the legacy flat
+// fields, and reports a usable error when neither exists.
+func TestBcastBaselineShapes(t *testing.T) {
+	engineJSON := `{
+		"engine": {"bcast": {"iters": 40, "ms_per_sim": 0.5, "sims_per_sec": 2000,
+			"allocs_per_sim": 300, "simulated_us": 156.594}},
+		"bcast_ms_per_sim": 0.9, "allocs_per_bcast": 12,
+		"bcast_sims_per_sec": 1111, "simulated_us_bcast": 156.594}`
+	legacyJSON := `{
+		"bcast_iters": 40, "bcast_ms_per_sim": 0.55, "allocs_per_bcast": 12,
+		"bcast_sims_per_sec": 1813.2, "simulated_us_bcast": 156.594}`
+	emptyJSON := `{"timestamp": "2026-01-01T00:00:00Z"}`
+
+	var parsed simPerf
+	if err := json.Unmarshal([]byte(engineJSON), &parsed); err != nil {
+		t.Fatal(err)
+	}
+	got, err := bcastBaseline(parsed)
+	if err != nil {
+		t.Fatalf("engine shape: %v", err)
+	}
+	if got.MsPerSim != 0.5 || got.AllocsPerSim != 300 || got.SimsPerSec != 2000 {
+		t.Errorf("engine shape: picked %+v, want the engine section, not the flat fields", got)
+	}
+
+	parsed = simPerf{}
+	if err := json.Unmarshal([]byte(legacyJSON), &parsed); err != nil {
+		t.Fatal(err)
+	}
+	got, err = bcastBaseline(parsed)
+	if err != nil {
+		t.Fatalf("legacy shape: %v", err)
+	}
+	if got.MsPerSim != 0.55 || got.AllocsPerSim != 12 || got.SimsPerSec != 1813.2 {
+		t.Errorf("legacy shape: picked %+v, want the flat fields", got)
+	}
+
+	parsed = simPerf{}
+	if err := json.Unmarshal([]byte(emptyJSON), &parsed); err != nil {
+		t.Fatal(err)
+	}
+	if _, err = bcastBaseline(parsed); err == nil {
+		t.Error("empty file: want an error, got a baseline")
+	}
+}
+
+// TestAppendHistory pins the one-entry-per-label contract.
+func TestAppendHistory(t *testing.T) {
+	h := appendHistory(nil, historyEntry{Label: "PR 9", BcastSimsPerSec: 1813})
+	h = appendHistory(h, historyEntry{Label: "PR 10", BcastSimsPerSec: 3000})
+	h = appendHistory(h, historyEntry{Label: "PR 10", BcastSimsPerSec: 3800})
+	if len(h) != 2 {
+		t.Fatalf("history has %d entries, want 2 (same-label replace)", len(h))
+	}
+	if h[0].Label != "PR 9" || h[1].Label != "PR 10" || h[1].BcastSimsPerSec != 3800 {
+		t.Errorf("history %+v: want PR 9 kept and PR 10 replaced", h)
+	}
+}

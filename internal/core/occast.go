@@ -101,6 +101,11 @@ type Broadcaster struct {
 	lastRoot int
 	fenceSeq uint64
 	fencer   Fencer // optional shared quiesce (SetFence)
+
+	// frame is the reusable inline state machine for the chunk pipeline
+	// (see frames.go), used instead of runRoot/runNonRoot when the
+	// engine latched inline execution.
+	frame bcastFrame
 }
 
 // Fencer is a chip-wide barrier the broadcaster can route its
@@ -207,6 +212,17 @@ func (b *Broadcaster) Bcast(root, addr, lines int) {
 	}
 	b.lastRoot = root
 	t := b.buildTree(root)
+	if c.Inline() {
+		pc := nNotifyWait
+		if t.Rank == 0 {
+			pc = rDoneWait
+		}
+		b.frame = bcastFrame{b: b, t: t, addr: addr, lines: lines,
+			nchunks: (lines + b.cfg.BufLines - 1) / b.cfg.BufLines,
+			nb:      b.cfg.numBuffers(), pc: pc}
+		c.Exec(&b.frame)
+		return
+	}
 	if t.Rank == 0 {
 		b.runRoot(t, addr, lines)
 	} else {

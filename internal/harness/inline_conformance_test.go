@@ -1,0 +1,148 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/collective"
+	occore "repro/internal/core"
+	"repro/internal/occoll"
+	"repro/internal/rcce"
+	"repro/internal/rma"
+	"repro/internal/scc"
+	"repro/internal/sim"
+)
+
+// Inline machine execution must reproduce the goroutine scheduler's
+// results exactly on the real protocol stack, not just on synthetic
+// sim-level workloads (internal/sim has that matrix). This suite runs
+// the six collective pairs the repo measures — three broadcasts and
+// three allreduce variants — across the four scaling topologies with
+// randomized message sizes, in both execution modes, and requires the
+// per-repetition latency vectors and the engine's slow-path switch
+// counts to match event for event.
+
+// conformanceCell runs one collective workload on a pooled chip and
+// returns every repetition's latency plus the run's slow-path switch
+// count (diffed around the run: pooled engines accumulate forever).
+func conformanceCell(cfg scc.Config, n int, kind string, k, lines, reps int) ([]sim.Duration, int64) {
+	chip := rma.AcquireChipN(cfg, n)
+	defer rma.ReleaseChip(chip)
+
+	msgBytes := lines * scc.CacheLine
+	for c := 0; c < n; c++ {
+		if c > 0 && (kind == "bcast/oc" || kind == "bcast/binomial" || kind == "bcast/sag") {
+			break // broadcasts stage the root's payload only
+		}
+		payload := make([]byte, msgBytes)
+		for i := range payload {
+			payload[i] = byte(i*7 + c*13 + 5)
+		}
+		for it := 0; it < reps; it++ {
+			chip.Private(c).Write(it*msgBytes, payload)
+		}
+	}
+	scratchBase := (reps + 1) * msgBytes
+
+	starts := make([][]sim.Time, reps)
+	returns := make([][]sim.Time, reps)
+	for it := range returns {
+		starts[it] = make([]sim.Time, n)
+		returns[it] = make([]sim.Time, n)
+	}
+
+	sw0 := chip.Engine.Switches()
+	chip.Run(func(c *rma.Core) {
+		port := rcce.NewPort(c)
+		comm := collective.NewComm(port)
+		occfg := occore.DefaultConfig()
+		occfg.K = k
+		var op func(addr int)
+		switch kind {
+		case "bcast/oc":
+			b := occore.NewBroadcaster(c, occfg)
+			op = func(addr int) { b.Bcast(0, addr, lines) }
+		case "bcast/binomial":
+			op = func(addr int) { comm.BcastBinomial(0, addr, lines) }
+		case "bcast/sag":
+			op = func(addr int) { comm.BcastScatterAllgather(0, addr, lines) }
+		case "allreduce/oc":
+			x := occoll.New(c, port, occfg)
+			op = func(addr int) { x.AllReduce(addr, lines, collective.SumInt64) }
+		case "allreduce/twosided":
+			op = func(addr int) {
+				comm.Reduce(0, addr, scratchBase, lines, collective.SumInt64)
+				comm.BcastBinomial(0, addr, lines)
+			}
+		case "allreduce/hybrid":
+			b := occore.NewBroadcaster(c, occfg)
+			op = func(addr int) {
+				comm.Reduce(0, addr, scratchBase, lines, collective.SumInt64)
+				b.Bcast(0, addr, lines)
+			}
+		default:
+			panic(fmt.Sprintf("unknown conformance kind %q", kind))
+		}
+		for it := 0; it < reps; it++ {
+			port.Barrier()
+			starts[it][c.ID()] = c.Now()
+			op(it * msgBytes)
+			returns[it][c.ID()] = c.Now()
+		}
+	})
+	switches := chip.Engine.Switches() - sw0
+
+	out := make([]sim.Duration, reps)
+	for it := 0; it < reps; it++ {
+		first, last := starts[it][0], returns[it][0]
+		for id := 1; id < n; id++ {
+			if starts[it][id] < first {
+				first = starts[it][id]
+			}
+			if returns[it][id] > last {
+				last = returns[it][id]
+			}
+		}
+		out[it] = last - first
+	}
+	return out, switches
+}
+
+// TestInlineGoroutineConformance drives the randomized conformance grid
+// in inline and goroutine execution and compares latencies and switch
+// counts exactly.
+func TestInlineGoroutineConformance(t *testing.T) {
+	cfg := scc.DefaultConfig()
+	kinds := []string{
+		"bcast/oc", "bcast/binomial", "bcast/sag",
+		"allreduce/oc", "allreduce/twosided", "allreduce/hybrid",
+	}
+	rng := rand.New(rand.NewSource(29))
+	for _, topo := range ScaleMeshes() {
+		cfg := cfg
+		cfg.Topo = topo
+		n := topo.NumCores()
+		if testing.Short() && n > 96 {
+			continue
+		}
+		for _, kind := range kinds {
+			lines := 4 + rng.Intn(60)
+			name := fmt.Sprintf("%s/%dx%d/%dCL", kind, topo.W, topo.H, lines)
+			prev := sim.SetInline(true)
+			inLat, inSw := conformanceCell(cfg, n, kind, 7, lines, 2)
+			sim.SetInline(false)
+			goLat, goSw := conformanceCell(cfg, n, kind, 7, lines, 2)
+			sim.SetInline(prev)
+			for it := range inLat {
+				if inLat[it] != goLat[it] {
+					t.Errorf("%s rep %d: latency %v (inline) vs %v (goroutine)",
+						name, it, inLat[it], goLat[it])
+				}
+			}
+			if inSw != goSw {
+				t.Errorf("%s: switch count %d (inline) vs %d (goroutine)", name, inSw, goSw)
+			}
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/scc"
+	"repro/internal/sim"
+)
+
+// TestGoldenInlineVsGoroutine re-runs the light golden points with
+// inline machine execution force-disabled: the goroutine-per-proc
+// scheduler (the executable spec) must reproduce the exact committed
+// latencies, byte for byte. With the knob restored, the same points are
+// re-checked in inline mode, so one test pins both directions of the
+// execution-mode equivalence — the machine transcriptions of the
+// protocols cannot drift from their goroutine originals without
+// breaking one of the two subtests.
+func TestGoldenInlineVsGoroutine(t *testing.T) {
+	cfg := scc.DefaultConfig()
+	run := func(t *testing.T) {
+		for _, pt := range goldenPoints(cfg) {
+			if pt.heavy {
+				continue
+			}
+			checkGolden(t, pt.name, pt.run(), pt.want)
+		}
+	}
+	prev := sim.SetInline(false)
+	t.Run("goroutine", run)
+	sim.SetInline(prev)
+	t.Run("inline", run)
+}

@@ -20,7 +20,9 @@
 package mem
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math/bits"
 
 	"repro/internal/scc"
 	"repro/internal/sim"
@@ -45,6 +47,11 @@ type MPB struct {
 	// free recycles fully folded extents (and their line buffers) so the
 	// steady-state write path allocates nothing.
 	free []*pendingExtent
+	// pendCnt counts, per line, the pending extents whose write to that
+	// line has not folded yet — an index over `pending` that lets the
+	// read-side scans (settle, peekU64At, satisfiedAt) skip lines with
+	// no unapplied writes in O(1) instead of walking the whole list.
+	pendCnt []uint32
 	// settledAt is the largest read time settle has folded to — a safe
 	// fold horizon for sweepPending, because the engine executes
 	// operations in nondecreasing global time order, so every future
@@ -56,6 +63,11 @@ type MPB struct {
 	sweepAt int
 	// sweepBlocked is sweepPending's reusable per-line blocked bitmap.
 	sweepBlocked []uint64
+	// dirty marks lines whose backing bytes have been written (folded)
+	// since the last Reset, so Reset zeroes only those lines instead of
+	// the whole buffer — most simulations touch a handful of lines per
+	// MPB, and pooled reruns pay per line used, not per line owned.
+	dirty []uint64
 
 	// Port is the FIFO server modelling the MPB's access port, the
 	// contention point measured in Figure 4.
@@ -154,11 +166,13 @@ func NewMPB(e *sim.Engine, owner, lines int, readSvc sim.Duration) *MPB {
 		panic(fmt.Sprintf("mem: MPB[%d] capacity %d lines must be positive", owner, lines))
 	}
 	return &MPB{
-		owner: owner,
-		lines: lines,
-		eng:   e,
-		data:  make([]byte, lines*scc.CacheLine),
-		Port:  sim.NewResource(fmt.Sprintf("mpb[%d]", owner), readSvc),
+		owner:   owner,
+		lines:   lines,
+		eng:     e,
+		data:    make([]byte, lines*scc.CacheLine),
+		pendCnt: make([]uint32, lines),
+		dirty:   make([]uint64, (lines+63)/64),
+		Port:    sim.NewResource(fmt.Sprintf("mpb[%d]", owner), readSvc),
 	}
 }
 
@@ -234,7 +248,8 @@ func (m *MPB) settle(line int, t sim.Time) {
 	if t > m.settledAt {
 		m.settledAt = t
 	}
-	if len(m.pending) == 0 {
+	left := m.pendCnt[line]
+	if left == 0 {
 		return
 	}
 	completed := false
@@ -245,13 +260,41 @@ func (m *MPB) settle(line int, t sim.Time) {
 		if x.effAt(line) > t {
 			break
 		}
-		copy(m.data[line*scc.CacheLine:], x.lineData(line))
-		x.markApplied(line)
+		m.fold(x, line)
 		completed = completed || x.nApplied == x.n
+		if left--; left == 0 {
+			break // every unapplied extent for this line seen
+		}
 	}
 	if completed {
 		m.compact()
 	}
+}
+
+// rangeClear reports whether no bit in [lo, hi) of the bitmap is set.
+func rangeClear(bits []uint64, lo, hi int) bool {
+	for w := lo / 64; w <= (hi-1)/64; w++ {
+		mask := ^uint64(0)
+		if w == lo/64 {
+			mask &= ^uint64(0) << (lo % 64)
+		}
+		if w == (hi-1)/64 {
+			mask &= ^uint64(0) >> (63 - (hi-1)%64)
+		}
+		if bits[w]&mask != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// fold copies one pending line into the backing store and maintains the
+// per-line unapplied index.
+func (m *MPB) fold(x *pendingExtent, line int) {
+	copy(m.data[line*scc.CacheLine:], x.lineData(line))
+	m.dirty[line/64] |= 1 << (line % 64)
+	x.markApplied(line)
+	m.pendCnt[line]--
 }
 
 // compact recycles every fully folded extent, wherever it sits in the
@@ -352,8 +395,7 @@ func (m *MPB) sweepPending() {
 				blocked[line/64] |= 1 << (line % 64)
 				continue
 			}
-			copy(m.data[line*scc.CacheLine:], x.lineData(line))
-			x.markApplied(line)
+			m.fold(x, line)
 			completed = completed || x.nApplied == x.n
 		}
 	}
@@ -400,14 +442,97 @@ func (m *MPB) ReadLinesInto(dst []byte, line0, n int, t0 sim.Time, stride sim.Du
 	// Settling a line only writes that line's bytes, so settling the
 	// whole range first and copying once is identical to interleaving —
 	// and replaces n 32-byte copies with a single memmove.
-	if len(m.pending) > 0 {
-		t := t0
-		for i := 0; i < n; i++ {
-			m.settle(line0+i, t)
-			t += stride
+	m.settleRange(line0, n, t0, stride)
+	copy(dst[:n*scc.CacheLine], m.data[line0*scc.CacheLine:(line0+n)*scc.CacheLine])
+}
+
+// settleRange folds pending writes visible to a bulk read of n lines
+// starting at line0, where line line0+i is read at t0+i·stride: the
+// per-extent equivalent of calling settle once per line, scanning the
+// pending list once instead of once per line. Per line, folding stops
+// at the first pending write in the future (tracked in the reusable
+// blocked bitmap, as in sweepPending), preserving each line's
+// issue-order prefix rule; the outcome is identical to the per-line
+// loop. The scan stops as soon as every unapplied (extent, line) pair
+// in the range has been disposed of — folded or found in the future.
+func (m *MPB) settleRange(line0, n int, t0 sim.Time, stride sim.Duration) {
+	if tMax := t0 + sim.Duration(n-1)*stride; tMax > m.settledAt {
+		m.settledAt = tMax
+	}
+	todo := 0
+	for i := line0; i < line0+n; i++ {
+		todo += int(m.pendCnt[i])
+	}
+	if todo == 0 {
+		return
+	}
+	words := (m.lines + 63) / 64
+	if cap(m.sweepBlocked) < words {
+		m.sweepBlocked = make([]uint64, words)
+	}
+	blocked := m.sweepBlocked[:words]
+	for i := range blocked {
+		blocked[i] = 0
+	}
+	completed := false
+	for _, x := range m.pending {
+		lo, hi := x.line0, x.line0+x.n
+		if lo < line0 {
+			lo = line0
+		}
+		if hi > line0+n {
+			hi = line0 + n
+		}
+		if lo >= hi {
+			continue
+		}
+		// Whole-extent fast path: an untouched extent fully inside the
+		// read range whose every line is visible folds with one memmove.
+		// eff(line)−t(line) is affine in line, so checking both ends
+		// covers the middle; the blocked bits guard earlier future
+		// writes to any of its lines.
+		if lo == x.line0 && hi == x.line0+x.n && x.nApplied == 0 &&
+			rangeClear(blocked, lo, hi) &&
+			x.eff0 <= t0+sim.Duration(lo-line0)*stride &&
+			x.effAt(hi-1) <= t0+sim.Duration(hi-1-line0)*stride {
+			copy(m.data[lo*scc.CacheLine:], x.data)
+			for i := range x.applied {
+				x.applied[i] = ^uint64(0)
+			}
+			x.nApplied = x.n
+			for line := lo; line < hi; line++ {
+				m.dirty[line/64] |= 1 << (line % 64)
+				m.pendCnt[line]--
+			}
+			todo -= x.n
+			completed = true
+			if todo == 0 {
+				break
+			}
+			continue
+		}
+		for line := lo; line < hi; line++ {
+			if x.isApplied(line) {
+				continue
+			}
+			todo--
+			if blocked[line/64]&(1<<(line%64)) != 0 {
+				continue
+			}
+			if x.effAt(line) > t0+sim.Duration(line-line0)*stride {
+				blocked[line/64] |= 1 << (line % 64)
+				continue
+			}
+			m.fold(x, line)
+			completed = completed || x.nApplied == x.n
+		}
+		if todo == 0 {
+			break
 		}
 	}
-	copy(dst[:n*scc.CacheLine], m.data[line0*scc.CacheLine:(line0+n)*scc.CacheLine])
+	if completed {
+		m.compact()
+	}
 }
 
 // WriteLine stores 32 bytes into a line with effective time eff and
@@ -437,6 +562,9 @@ func (m *MPB) WriteLines(line0 int, src []byte, n int, eff0 sim.Time, stride sim
 	x.stride = stride
 	copy(x.data, src[:n*scc.CacheLine])
 	m.pending = append(m.pending, x)
+	for i := line0; i < line0+n; i++ {
+		m.pendCnt[i]++
+	}
 	if len(m.pending) >= m.sweepAt && len(m.pending) >= sweepMinPending {
 		m.sweepPending()
 	}
@@ -452,11 +580,7 @@ func (m *MPB) PeekU64(line int, t sim.Time) uint64 {
 	m.checkLine(line)
 	m.settle(line, t)
 	off := line * scc.CacheLine
-	var v uint64
-	for i := 7; i >= 0; i-- {
-		v = v<<8 | uint64(m.data[off+i])
-	}
-	return v
+	return binary.LittleEndian.Uint64(m.data[off:])
 }
 
 // peekU64At evaluates what PeekU64 would return at time t WITHOUT
@@ -466,16 +590,19 @@ func (m *MPB) PeekU64(line int, t sim.Time) uint64 {
 // waiting process, so it must not allocate).
 func (m *MPB) peekU64At(line int, t sim.Time) uint64 {
 	off := line * scc.CacheLine
-	var buf [8]byte
-	copy(buf[:], m.data[off:off+8])
-	for _, x := range m.pending {
-		if x.covers(line) && !x.isApplied(line) && x.effAt(line) <= t {
-			copy(buf[:], x.lineData(line)[:8])
+	v := binary.LittleEndian.Uint64(m.data[off:])
+	if left := m.pendCnt[line]; left != 0 {
+		for _, x := range m.pending {
+			if !x.covers(line) || x.isApplied(line) {
+				continue
+			}
+			if x.effAt(line) <= t {
+				v = binary.LittleEndian.Uint64(x.lineData(line))
+			}
+			if left--; left == 0 {
+				break
+			}
 		}
-	}
-	var v uint64
-	for i := 7; i >= 0; i-- {
-		v = v<<8 | uint64(buf[i])
 	}
 	return v
 }
@@ -512,16 +639,21 @@ func (m *MPB) satisfiedAt(line int, now sim.Time, op uint8, val uint64, pred fun
 	if holdsOp(m.peekU64At(line, now), op, val, pred) {
 		return now, true
 	}
+	left := m.pendCnt[line]
+	if left == 0 {
+		return 0, false
+	}
 	for _, x := range m.pending {
 		if !x.covers(line) || x.isApplied(line) {
 			continue
 		}
 		eff := x.effAt(line)
-		if eff <= now {
-			continue // already folded into peekU64At(now)
-		}
-		if holdsOp(m.peekU64At(line, eff), op, val, pred) {
+		if eff > now && holdsOp(m.peekU64At(line, eff), op, val, pred) {
+			// eff ≤ now is already folded into peekU64At(now) above.
 			return eff, true
+		}
+		if left--; left == 0 {
+			break
 		}
 	}
 	return 0, false
@@ -586,14 +718,23 @@ func (m *MPB) waitOp(p *sim.Proc, line int, op uint8, val uint64, pred func(uint
 // free list, access-log slices are truncated in place, and map buckets
 // survive, so a pooled chip's next simulation allocates nothing here.
 func (m *MPB) Reset() {
-	for i := range m.data {
-		m.data[i] = 0
+	for w, mask := range m.dirty {
+		for mask != 0 {
+			line := w*64 + bits.TrailingZeros64(mask)
+			mask &= mask - 1
+			off := line * scc.CacheLine
+			clear(m.data[off : off+scc.CacheLine])
+		}
+		m.dirty[w] = 0
 	}
 	for i, x := range m.pending {
 		m.recycle(x)
 		m.pending[i] = nil
 	}
 	m.pending = m.pending[:0]
+	for i := range m.pendCnt {
+		m.pendCnt[i] = 0
+	}
 	m.settledAt = 0
 	m.sweepAt = 0
 	m.Port.Reset()

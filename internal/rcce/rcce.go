@@ -41,6 +41,13 @@ type Port struct {
 	turnWait  map[int]uint64 // send turns awaited, per peer
 	epoch     uint64         // barrier epoch
 	shape     int            // root of the last rooted collective, -1 before the first
+
+	// bar and two are the port's reusable inline state machines (see
+	// frames.go), used instead of the blocking bodies when the engine
+	// latched inline execution. One of each suffices: a core runs at
+	// most one barrier or two-sided call at a time.
+	bar barrierFrame
+	two twoFrame
 }
 
 // NewPort wraps a core with two-sided communication state. The RCCE line
@@ -121,6 +128,11 @@ func (p *Port) Send(dst int, addr, lines int) {
 		panic("rcce: send to self")
 	}
 	checkMsg(addr, lines)
+	if p.core.Inline() {
+		p.two = twoFrame{p: p, op: twoSend, pc: sLoop, dst: dst, sendAddr: addr, sendLines: lines}
+		p.core.Exec(&p.two)
+		return
+	}
 	me := p.core.ID()
 	for off := 0; off < lines; off += PayloadLines {
 		m := lines - off
@@ -147,6 +159,11 @@ func (p *Port) Recv(src int, addr, lines int) {
 		panic("rcce: recv from self")
 	}
 	checkMsg(addr, lines)
+	if p.core.Inline() {
+		p.two = twoFrame{p: p, op: twoRecv, pc: rLoop, src: src, recvAddr: addr, recvLines: lines}
+		p.core.Exec(&p.two)
+		return
+	}
 	me := p.core.ID()
 	for off := 0; off < lines; off += PayloadLines {
 		m := lines - off
@@ -204,6 +221,13 @@ func (p *Port) SendRecv(dst, sendAddr, sendLines, src, recvAddr, recvLines int) 
 	}
 	checkMsg(sendAddr, sendLines)
 	checkMsg(recvAddr, recvLines)
+	if p.core.Inline() {
+		p.two = twoFrame{p: p, op: twoSendRecv, pc: xLoop,
+			dst: dst, sendAddr: sendAddr, sendLines: sendLines,
+			src: src, recvAddr: recvAddr, recvLines: recvLines}
+		p.core.Exec(&p.two)
+		return
+	}
 	me := p.core.ID()
 
 	sendOff, recvOff := 0, 0
@@ -246,6 +270,11 @@ func (p *Port) SendRecv(dst, sendAddr, sendLines, src, recvAddr, recvLines int) 
 // reused across barriers (single writer per line per epoch, waits are ≥).
 func (p *Port) Barrier() {
 	p.epoch++
+	if p.core.Inline() {
+		p.bar = barrierFrame{p: p, pc: bWaitA}
+		p.core.Exec(&p.bar)
+		return
+	}
 	me := p.core.ID()
 	n := p.core.N()
 	left, right := 2*me+1, 2*me+2

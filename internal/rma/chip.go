@@ -215,6 +215,13 @@ type Core struct {
 	scratch []byte
 	// runs is PutMemToMPB's reusable uniform-stride sub-extent list.
 	runs []writeRun
+
+	// opf is the core's reusable RMA-op state machine (see frames.go):
+	// one embedded instance suffices because ops never nest.
+	opf opFrame
+	// flagBuf stages SetFlag's one-line payload between the op's pre
+	// and post steps.
+	flagBuf [scc.CacheLine]byte
 }
 
 // scratchBuf returns the core's scratch buffer sized to n bytes, growing

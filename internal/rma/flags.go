@@ -1,11 +1,8 @@
 package rma
 
 import (
-	"encoding/binary"
-
 	"repro/internal/mem"
 	"repro/internal/obs"
-	"repro/internal/scc"
 	"repro/internal/sim"
 )
 
@@ -20,27 +17,10 @@ import (
 // put whose payload is a register value, so no source read is charged:
 // completion = o^mpb_put + C^mpb_w(d).
 func (c *Core) SetFlag(dst, line int, value uint64) {
-	o := c.beginSpan("flag.set", obs.BucketFlag,
-		obs.Arg{Key: "dst", Val: int64(dst)}, obs.Arg{Key: "line", Val: int64(line)})
-	p := c.chip.Cfg.Params
-	d := c.distMPB(dst)
-	t0 := c.Now()
-
-	dstPort := c.reservePort(dst, t0, 1, true)
-	mesh := c.meshTraverse(t0, c.coord(), c.coordOf(dst), 1)
-
-	eff := t0 + p.OMpbPut + c.LMpbW(d)
-	analytic := t0 + p.OMpbPut + c.CMpbW(d)
-	delay := c.finishOp(analytic, dstPort, sim.Duration(d)*p.Lhop, mesh)
-
-	var buf [scc.CacheLine]byte
-	binary.LittleEndian.PutUint64(buf[:8], value)
-	c.chip.MPB(dst).WriteLine(line, buf[:], eff+delay)
-
-	ctr := c.counters()
-	ctr.MPBWriteLines++
-	ctr.FlagSets++
-	c.endSpan(o)
+	f := &c.opf
+	c.setFlagPre(f, dst, line, value)
+	c.proc.AdvanceTo(f.completion)
+	c.opPost(f)
 }
 
 // ReadFlag reads the flag in line `line` of core src's MPB, charging one

@@ -53,14 +53,16 @@ func checkLines(m int) {
 	}
 }
 
-// finishOp combines the analytic completion time with contention effects
-// and advances the core clock. analytic is the contention-free completion;
-// portFinish is the (possibly zero) FIFO-port service finish; tail is the
-// path cost from port back to the issuing core (d·Lhop); meshFinish is the
-// detailed-NoC clearing time (or 0). It returns the extra delay beyond the
-// analytic time so callers can shift write visibility accordingly.
-func (c *Core) finishOp(analytic, portFinish sim.Time, tail sim.Duration, meshFinish sim.Time) sim.Duration {
-	completion := analytic
+// opCompletion combines the analytic completion time with contention
+// effects, without touching the clock. analytic is the contention-free
+// completion; portFinish is the (possibly zero) FIFO-port service
+// finish; tail is the path cost from port back to the issuing core
+// (d·Lhop); meshFinish is the detailed-NoC clearing time (or 0). delay
+// is the extra completion beyond the analytic time, which shifts write
+// visibility accordingly. Pre steps store both in the opFrame; the
+// blocking driver advances to completion itself.
+func (c *Core) opCompletion(analytic, portFinish sim.Time, tail sim.Duration, meshFinish sim.Time) (completion sim.Time, delay sim.Duration) {
+	completion = analytic
 	if c.chip.Cfg.Contention.Enabled && portFinish > 0 {
 		if t := portFinish + tail; t > completion {
 			completion = t
@@ -69,7 +71,13 @@ func (c *Core) finishOp(analytic, portFinish sim.Time, tail sim.Duration, meshFi
 	if meshFinish > completion {
 		completion = meshFinish
 	}
-	delay := completion - analytic
+	return completion, completion - analytic
+}
+
+// finishOp is opCompletion plus the clock advance — the epilogue of the
+// ops that have no framed form (GetMPBCombine, ReadFlag, TryFlagGE).
+func (c *Core) finishOp(analytic, portFinish sim.Time, tail sim.Duration, meshFinish sim.Time) sim.Duration {
+	completion, delay := c.opCompletion(analytic, portFinish, tail, meshFinish)
 	c.proc.AdvanceTo(completion)
 	return delay
 }
@@ -148,8 +156,17 @@ func unfairness(core int) float64 {
 // C^mpb_put(m, d) = o^mpb_put + m·C^mpb_r(1) + m·C^mpb_w(d). The last
 // line becomes visible d·Lhop before the operation completes (Formula 9).
 func (c *Core) PutMPBToMPB(dst, dstLine, srcLine, m int) {
+	f := &c.opf
+	c.putMPBPre(f, dst, dstLine, srcLine, m)
+	c.proc.AdvanceTo(f.completion)
+	c.opPost(f)
+}
+
+// putMPBPre is PutMPBToMPB up to the completion advance.
+func (c *Core) putMPBPre(f *opFrame, dst, dstLine, srcLine, m int) {
 	checkLines(m)
-	o := c.beginSpan("put.mpb", obs.BucketMPB,
+	f.c, f.op, f.pc = c, opPutMPB, 0
+	f.span = c.beginSpan("put.mpb", obs.BucketMPB,
 		obs.Arg{Key: "dst", Val: int64(dst)}, obs.Arg{Key: "lines", Val: int64(m)})
 	p := c.chip.Cfg.Params
 	d := c.distMPB(dst)
@@ -172,13 +189,9 @@ func (c *Core) PutMPBToMPB(dst, dstLine, srcLine, m int) {
 	if dstPort > port {
 		port = dstPort
 	}
-	delay := c.finishOp(t, port, sim.Duration(d)*p.Lhop, mesh)
-	rem.WriteLines(dstLine, buf, m, read0+c.LMpbW(d)+delay, step)
-	ctr := c.counters()
-	ctr.MPBReadLines += int64(m)
-	ctr.MPBWriteLines += int64(m)
-	ctr.PutOps++
-	c.endSpan(o)
+	f.completion, f.delay = c.opCompletion(t, port, sim.Duration(d)*p.Lhop, mesh)
+	f.dst, f.line, f.m, f.buf = rem, dstLine, m, buf
+	f.eff0, f.stride = read0+c.LMpbW(d)+f.delay, step
 }
 
 // PutMemToMPB copies m cache lines from this core's private off-chip
@@ -186,9 +199,19 @@ func (c *Core) PutMPBToMPB(dst, dstLine, srcLine, m int) {
 // Cost: Formula 8, C^mem_put = o^mem_put + m·C^mem_r(dsrc) + m·C^mpb_w(ddst),
 // with L1-cached source lines read at (approximately) zero cost.
 func (c *Core) PutMemToMPB(dst, dstLine, srcAddr, m int) {
+	f := &c.opf
+	c.putMemPre(f, dst, dstLine, srcAddr, m)
+	c.proc.AdvanceTo(f.completion)
+	c.opPost(f)
+}
+
+// putMemPre is PutMemToMPB up to the completion advance; the post step
+// replays c.runs shifted by the contention delay.
+func (c *Core) putMemPre(f *opFrame, dst, dstLine, srcAddr, m int) {
 	checkLines(m)
 	checkAlign(srcAddr)
-	o := c.beginSpan("put.mem", obs.BucketMem,
+	f.c, f.op, f.pc = c, opPutMem, 0
+	f.span = c.beginSpan("put.mem", obs.BucketMem,
 		obs.Arg{Key: "dst", Val: int64(dst)}, obs.Arg{Key: "lines", Val: int64(m)})
 	p := c.chip.Cfg.Params
 	d := c.distMPB(dst)
@@ -232,15 +255,8 @@ func (c *Core) PutMemToMPB(dst, dstLine, srcAddr, m int) {
 	}
 	runs = append(runs, cur)
 	c.runs = runs
-	delay := c.finishOp(t, dstPort, sim.Duration(d)*p.Lhop, mesh)
-	off := 0
-	for _, r := range runs {
-		rem.WriteLines(r.line0, buf[off:], r.n, r.eff0+delay, r.stride)
-		off += r.n * scc.CacheLine
-	}
-	ctr.MPBWriteLines += int64(m)
-	ctr.PutOps++
-	c.endSpan(o)
+	f.completion, f.delay = c.opCompletion(t, dstPort, sim.Duration(d)*p.Lhop, mesh)
+	f.dst, f.m, f.buf = rem, m, buf
 }
 
 // writeRun is one uniform-stride sub-extent of a bulk write whose
@@ -255,8 +271,17 @@ type writeRun struct {
 // own MPB. Cost: Formula 11,
 // C^mpb_get = o^mpb_get + m·C^mpb_r(dsrc) + m·C^mpb_w(1).
 func (c *Core) GetMPBToMPB(src, srcLine, dstLine, m int) {
+	f := &c.opf
+	c.getMPBPre(f, src, srcLine, dstLine, m)
+	c.proc.AdvanceTo(f.completion)
+	c.opPost(f)
+}
+
+// getMPBPre is GetMPBToMPB up to the completion advance.
+func (c *Core) getMPBPre(f *opFrame, src, srcLine, dstLine, m int) {
 	checkLines(m)
-	o := c.beginSpan("get.mpb", obs.BucketMPB,
+	f.c, f.op, f.pc = c, opGetMPB, 0
+	f.span = c.beginSpan("get.mpb", obs.BucketMPB,
 		obs.Arg{Key: "src", Val: int64(src)}, obs.Arg{Key: "lines", Val: int64(m)})
 	p := c.chip.Cfg.Params
 	d := c.distMPB(src)
@@ -276,13 +301,9 @@ func (c *Core) GetMPBToMPB(src, srcLine, dstLine, m int) {
 	if ownPort > port {
 		port = ownPort
 	}
-	delay := c.finishOp(t, port, sim.Duration(d)*p.Lhop, mesh)
-	own.WriteLines(dstLine, buf, m, read0+c.LMpbW(1)+delay, step)
-	ctr := c.counters()
-	ctr.MPBReadLines += int64(m)
-	ctr.MPBWriteLines += int64(m)
-	ctr.GetOps++
-	c.endSpan(o)
+	f.completion, f.delay = c.opCompletion(t, port, sim.Duration(d)*p.Lhop, mesh)
+	f.dst, f.line, f.m, f.buf = own, dstLine, m, buf
+	f.eff0, f.stride = read0+c.LMpbW(1)+f.delay, step
 }
 
 // GetMPBCombine reads m cache lines from core src's MPB starting at
@@ -347,9 +368,20 @@ func (c *Core) GetMPBCombine(src, srcLine, dstLine, m int, combine func(dst, src
 // Written lines populate the L1 model (write allocate), which is what
 // Formula 14 exploits for the binomial baseline's resends.
 func (c *Core) GetMPBToMem(src, srcLine, dstAddr, m int) {
+	f := &c.opf
+	c.getMemPre(f, src, srcLine, dstAddr, m)
+	c.proc.AdvanceTo(f.completion)
+	c.opPost(f)
+}
+
+// getMemPre is GetMPBToMem up to the completion advance; the post step
+// is counters and the span close only (the private-memory write and L1
+// touch happen here, before the yield, as they always have).
+func (c *Core) getMemPre(f *opFrame, src, srcLine, dstAddr, m int) {
 	checkLines(m)
 	checkAlign(dstAddr)
-	o := c.beginSpan("get.mem", obs.BucketMem,
+	f.c, f.op, f.pc = c, opGetMem, 0
+	f.span = c.beginSpan("get.mem", obs.BucketMem,
 		obs.Arg{Key: "src", Val: int64(src)}, obs.Arg{Key: "lines", Val: int64(m)})
 	p := c.chip.Cfg.Params
 	d := c.distMPB(src)
@@ -367,12 +399,8 @@ func (c *Core) GetMPBToMem(src, srcLine, dstAddr, m int) {
 	priv.Write(dstAddr, buf)
 	cache.TouchRange(dstAddr, m)
 	t := t0 + p.OMemGet + sim.Duration(m)*step
-	c.finishOp(t, srcPort, sim.Duration(d)*p.Lhop, mesh)
-	ctr := c.counters()
-	ctr.MPBReadLines += int64(m)
-	ctr.MemWriteLines += int64(m)
-	ctr.GetOps++
-	c.endSpan(o)
+	f.completion, f.delay = c.opCompletion(t, srcPort, sim.Duration(d)*p.Lhop, mesh)
+	f.dst, f.m = nil, m
 }
 
 func checkAlign(addr int) {

@@ -53,6 +53,11 @@ type Engine struct {
 	// matter when it was built or reset.
 	handoff bool
 
+	// inline selects inline state-machine execution for procs that Exec
+	// frames (see SetInline); latched from the package default at the
+	// start of every Run, like handoff.
+	inline bool
+
 	// persistent makes process goroutines park between runs instead of
 	// exiting after one body (see SetPersistent). Only pooled engines
 	// opt in: a parked goroutine pins its engine in memory forever, so
@@ -79,12 +84,18 @@ type Engine struct {
 	// process that blocks or finishes simply is not pushed back.
 	runq runQueue
 
-	// watchers lists every blocked process with the key it waits on. At
-	// most one entry exists per process, so the list never exceeds N and
-	// a linear scan (two int compares per entry, no hashing) beats the
-	// watch-key map this used to be. Registration order is preserved on
-	// removal, so wake order matches the old per-key slices.
-	watchers []watcherEntry
+	// watchers lists every blocked process with the key it waits on,
+	// bucketed by the key's space so a signal scans only the waiters of
+	// the space it touches — in practice 0 or 1 entries, since only an
+	// MPB's owning core ever waits on it. At most one entry exists per
+	// process across all buckets, so the total never exceeds N; within a
+	// bucket registration order is preserved on removal, so wake order
+	// matches the old per-key slices. Bucket backing arrays are retained
+	// across runs, so the steady-state block path allocates nothing.
+	watchers [][]watcherEntry
+	// nWatchers counts entries across all watcher buckets; the signal
+	// fast path bails on zero without touching the buckets at all.
+	nWatchers int
 
 	// obs, when non-nil, receives scheduling events (block/wake/done
 	// instants) and supplies deadlock context. Nil means tracing is off;
@@ -217,6 +228,7 @@ func (e *Engine) Run(body func(p *Proc)) {
 	}
 	e.started = true
 	e.handoff = directHandoff
+	e.inline = inlineExec
 	e.body = body
 	if !e.spawned {
 		for _, p := range e.procs {
@@ -252,39 +264,52 @@ func (e *Engine) Reset() bool {
 	e.finished = 0
 	e.panicVal = nil
 	e.obs = nil
-	for i := range e.watchers {
-		e.watchers[i] = watcherEntry{}
+	for s, ws := range e.watchers {
+		for i := range ws {
+			ws[i] = watcherEntry{}
+		}
+		e.watchers[s] = ws[:0]
 	}
-	e.watchers = e.watchers[:0]
+	e.nWatchers = 0
 	for _, p := range e.procs {
 		p.now = 0
 		p.state = stateNew
 		p.heapIdx = -1
 		p.blockRec.cond = nil
 		p.blockRec.wake = 0
+		for i := range p.frames {
+			p.frames[i] = nil
+		}
+		p.frames = p.frames[:0]
+		p.wokeMachine = false
 	}
 	return true
 }
 
-// loop drives the scheduler until every process has finished. It pops
-// the earliest runnable process, hands it the control token, and waits
-// for the token to come back on engch. In handoff mode the token
-// circulates among the processes themselves and returns only for
-// termination, deadlock arbitration, or panic unwinding; in classic mode
-// it returns after every step (y is then the process that just yielded,
-// re-queued here if still runnable).
+// loop drives the scheduler until every process has finished. It picks
+// the next process due a goroutine resume via nextToken — stepping any
+// inline machines on this goroutine along the way — hands it the
+// control token, and waits for the token to come back on engch. In
+// handoff mode the token circulates among the processes themselves and
+// returns only for termination, deadlock arbitration, or panic
+// unwinding; in classic mode it returns after every goroutine step (y
+// is then the process that just yielded, re-queued here if still
+// runnable).
 func (e *Engine) loop() {
 	for e.finished < len(e.procs) {
-		p := e.runq.pop()
+		p := e.nextToken()
+		if e.panicVal != nil {
+			// Tear down by abandoning; goroutines parked on resume
+			// channels are garbage once the engine is dropped (they
+			// hold no OS resources).
+			return
+		}
 		if p == nil {
 			e.reportDeadlock()
 		}
 		p.resume <- false
 		y := <-e.engch
 		if e.panicVal != nil {
-			// Tear down by abandoning; goroutines parked on resume
-			// channels are garbage once the engine is dropped (they
-			// hold no OS resources).
 			return
 		}
 		if y != nil && y.state == stateRunnable {
@@ -297,7 +322,7 @@ func (e *Engine) loop() {
 // predicate now holds become runnable no earlier than at time at.
 // Memory implementations call this after applying a write.
 func (e *Engine) Signal(key WatchKey, at Time) {
-	if len(e.watchers) == 0 {
+	if e.nWatchers == 0 {
 		return
 	}
 	e.signalScan(key.Space, key.Line, 1, at, 0)
@@ -310,19 +335,23 @@ func (e *Engine) Signal(key WatchKey, at Time) {
 // process blocks on a single key), and a wide extent costs one pass
 // regardless of n — O(1) when nobody is waiting at all.
 func (e *Engine) SignalRange(space, line0, n int, eff0 Time, stride Duration) {
-	if len(e.watchers) == 0 {
+	if e.nWatchers == 0 {
 		return
 	}
 	e.signalScan(space, line0, n, eff0, stride)
 }
 
 // signalScan wakes every process blocked on a key inside the signalled
-// line range whose condition now holds, compacting the watcher list in
-// place (registration order preserved).
+// line range whose condition now holds, compacting the space's watcher
+// bucket in place (registration order preserved).
 func (e *Engine) signalScan(space, line0, n int, eff0 Time, stride Duration) {
-	remaining := e.watchers[:0]
-	for _, w := range e.watchers {
-		if w.key.Space == space && w.key.Line >= line0 && w.key.Line < line0+n {
+	if space >= len(e.watchers) {
+		return
+	}
+	ws := e.watchers[space]
+	keep := 0
+	for idx, w := range ws {
+		if w.key.Line >= line0 && w.key.Line < line0+n {
 			b := w.b
 			if b.cond.Holds() {
 				at := eff0 + Duration(w.key.Line-line0)*stride
@@ -334,12 +363,22 @@ func (e *Engine) signalScan(space, line0, n int, eff0 Time, stride Duration) {
 				continue
 			}
 		}
-		remaining = append(remaining, w)
+		if keep != idx {
+			// Compact in place only once a wake opened a gap; until
+			// then the scan is read-only — the common no-wake signal
+			// never writes the list.
+			ws[keep] = w
+		}
+		keep++
 	}
-	for i := len(remaining); i < len(e.watchers); i++ {
-		e.watchers[i] = watcherEntry{}
+	if keep == len(ws) {
+		return
 	}
-	e.watchers = remaining
+	e.nWatchers -= len(ws) - keep
+	for i := keep; i < len(ws); i++ {
+		ws[i] = watcherEntry{}
+	}
+	e.watchers[space] = ws[:keep]
 }
 
 // addWatcher registers p as blocked on key with the given condition. A
@@ -350,7 +389,11 @@ func (e *Engine) addWatcher(key WatchKey, p *Proc, cond Cond) {
 	p.blockRec.p = p
 	p.blockRec.cond = cond
 	p.blockRec.wake = p.now
-	e.watchers = append(e.watchers, watcherEntry{key: key, b: &p.blockRec})
+	for key.Space >= len(e.watchers) {
+		e.watchers = append(e.watchers, nil)
+	}
+	e.watchers[key.Space] = append(e.watchers[key.Space], watcherEntry{key: key, b: &p.blockRec})
+	e.nWatchers++
 }
 
 // reportDeadlock panics with a description of all blocked processes.

@@ -40,6 +40,18 @@ type Proc struct {
 	// goroutine to exit (Shutdown) and is carried in the token itself so
 	// no flag read can race with the next run's spawns.
 	resume chan bool
+
+	// frames is the proc's inline state-machine stack (see Exec/Call):
+	// non-empty exactly while the proc is inside a machine section, in
+	// which case schedulers step the top frame directly instead of
+	// resuming the goroutine. The backing array is retained across
+	// sections and runs, so steady-state Exec allocates nothing.
+	frames []Frame
+
+	// wokeMachine marks that the machine blocked via MachineBlock and
+	// the next runMachine entry must emit the wake instant blockOn's
+	// goroutine form emits after its park.
+	wokeMachine bool
 }
 
 func newProc(e *Engine, id int) *Proc {
@@ -150,22 +162,37 @@ func (p *Proc) slowYield() {
 	e := p.eng
 	e.switches++
 	if e.handoff {
+		var next *Proc
 		if p.state == stateRunnable {
-			e.runq.push(p)
+			next = e.tokenFrom(p)
+		} else {
+			next = e.nextToken()
 		}
-		p.passControl()
+		if next == p {
+			// nextToken drained the machine procs that were ahead of p
+			// inline and p came out of the queue again: p still holds
+			// the token, so the park is skipped entirely.
+			return
+		}
+		if next != nil {
+			next.resume <- false
+		} else {
+			e.engch <- nil
+		}
 	} else {
 		e.engch <- p
 	}
 	<-p.resume
 }
 
-// passControl sends the control token to the next runnable process, or
-// to the engine goroutine when the run queue is empty (the engine then
-// arbitrates termination vs deadlock).
+// passControl sends the control token to the next process due a
+// goroutine resume (stepping inline machines along the way — see
+// nextToken), or to the engine goroutine when the run queue drains
+// (the engine then arbitrates termination vs deadlock) or a machine
+// frame panicked.
 func (p *Proc) passControl() {
 	e := p.eng
-	if next := e.runq.pop(); next != nil {
+	if next := e.nextToken(); next != nil {
 		next.resume <- false
 	} else {
 		e.engch <- nil

@@ -46,6 +46,28 @@ func (q *runQueue) push(p *Proc) {
 	q.cacheTop()
 }
 
+// pushPop is push(p) followed by pop(), fused: it returns the minimum
+// of the queued processes and p, leaving the other side queued. When p
+// does not beat the current top — always the case right after a failed
+// keepRunning check — the old top comes out and p takes its root slot
+// with a single siftDown, instead of a push's siftUp plus a pop's
+// siftDown. The machine drain loop (Engine.nextToken) lives on this.
+func (q *runQueue) pushPop(p *Proc) *Proc {
+	if p.heapIdx >= 0 {
+		panic("sim: process pushed onto run queue twice")
+	}
+	if len(q.heap) == 0 || q.less(p, q.heap[0]) {
+		return p
+	}
+	res := q.heap[0]
+	res.heapIdx = -1
+	q.heap[0] = p
+	p.heapIdx = 0
+	q.siftDown(0)
+	q.cacheTop()
+	return res
+}
+
 // pop removes and returns the process with the smallest (clock, id), or
 // nil if the queue is empty.
 func (q *runQueue) pop() *Proc {
